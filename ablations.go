@@ -1,0 +1,168 @@
+package tps
+
+import (
+	"fmt"
+
+	"tps/internal/addr"
+	"tps/internal/pagetable"
+	"tps/internal/vmm"
+)
+
+// The ablations quantify the design choices §III leaves open: alias-PTE
+// maintenance, promotion aggressiveness, reservation sizing, TPS TLB
+// capacity, and page-table depth. Each uses a representative subset of the
+// evaluation suite.
+
+func (r *Runner) ablationSuite() []Workload {
+	names := []string{"gups", "gcc", "xsbench", "mcf"}
+	var out []Workload
+	for _, n := range names {
+		if w, ok := WorkloadByName(n); ok {
+			out = append(out, w)
+		}
+	}
+	return out
+}
+
+func (r *Runner) ablationRun(w Workload, mutate func(*Options)) Result {
+	opts := Options{
+		Setup:       SetupTPS,
+		Refs:        r.cfg.Refs,
+		Seed:        r.cfg.Seed,
+		MemoryPages: r.cfg.MemoryPages,
+	}
+	mutate(&opts)
+	res, err := Run(w, opts)
+	if err != nil {
+		panic(fmt.Sprintf("tps: ablation %s failed: %v", w.Name, err))
+	}
+	return res
+}
+
+// AblationAliasStrategy compares the extra-lookup alias design against the
+// full-copy alternative (§III-A1): walk cost vs PTE-update cost.
+func (r *Runner) AblationAliasStrategy() *Table {
+	t := &Table{
+		Title:  "Ablation: Alias PTE Strategy (extra-lookup vs full-copy)",
+		Header: []string{"benchmark", "walkrefs/walk (extra)", "walkrefs/walk (copy)", "PTE writes (extra)", "PTE writes (copy)"},
+	}
+	for _, w := range r.ablationSuite() {
+		ex := r.ablationRun(w, func(o *Options) { o.AliasStrategy = pagetable.ExtraLookup })
+		fc := r.ablationRun(w, func(o *Options) { o.AliasStrategy = pagetable.FullCopy })
+		t.AddRow(w.Name,
+			f2(safeDiv(float64(ex.MMU.WalkRefs), float64(ex.MMU.Walks))),
+			f2(safeDiv(float64(fc.MMU.WalkRefs), float64(fc.MMU.Walks))),
+			fmt.Sprintf("%d", ex.PTEWrites),
+			fmt.Sprintf("%d", fc.PTEWrites))
+	}
+	return t
+}
+
+// AblationPromotionThreshold sweeps the §III-B1 utilization threshold on
+// sparse workloads (the only kind that can bloat): footprint vs TLB reach.
+func (r *Runner) AblationPromotionThreshold() *Table {
+	t := &Table{
+		Title:  "Ablation: Promotion Utilization Threshold (§III-B1)",
+		Header: []string{"workload", "threshold", "mapped pages", "touched pages", "bloat", "L1 misses"},
+		Notes:  []string{"touched = the 4K-only demand footprint; bloat = mapped/touched - 1"},
+	}
+	for _, density := range []float64{0.9, 0.6} {
+		w := SparseWorkload(1<<30, density)
+		base := r.ablationRun(w, func(o *Options) { o.Setup = SetupBase4K })
+		for _, th := range []float64{0.5, 0.75, 1.0} {
+			res := r.ablationRun(w, func(o *Options) { o.PromotionThreshold = th })
+			bloat := safeDiv(float64(res.MappedPages), float64(base.DemandPages)) - 1
+			t.AddRow(w.Name, fmt.Sprintf("%.2f", th),
+				fmt.Sprintf("%d", res.MappedPages),
+				fmt.Sprintf("%d", base.DemandPages),
+				pct(bloat),
+				fmt.Sprintf("%d", res.MMU.L1Misses))
+		}
+	}
+	return t
+}
+
+// AblationReservationSizing compares conservative exact-span tiling with
+// aggressive round-up sizing (§III-B2).
+func (r *Runner) AblationReservationSizing() *Table {
+	t := &Table{
+		Title:  "Ablation: Reservation Sizing (conservative exact-span vs aggressive round-up)",
+		Header: []string{"benchmark", "sizing", "reservations", "reserved pages", "L1 misses"},
+	}
+	for _, w := range r.ablationSuite() {
+		for _, sz := range []vmm.Sizing{vmm.SizingConservative, vmm.SizingAggressive} {
+			res := r.ablationRun(w, func(o *Options) { o.Sizing = sz })
+			t.AddRow(w.Name, sz.String(),
+				fmt.Sprintf("%d", res.OS.Reservations),
+				fmt.Sprintf("%d", res.ReservedPages),
+				fmt.Sprintf("%d", res.MMU.L1Misses))
+		}
+	}
+	return t
+}
+
+// AblationTPSTLBSize sweeps the any-size L1 TLB capacity (§III-A2 argues
+// 32 entries meet timing; this shows the sensitivity).
+func (r *Runner) AblationTPSTLBSize() *Table {
+	t := &Table{
+		Title:  "Ablation: TPS TLB Capacity",
+		Header: []string{"benchmark", "8", "16", "32", "64"},
+		Notes:  []string{"cells are L1 DTLB miss rates (misses per access)"},
+	}
+	for _, w := range r.ablationSuite() {
+		row := []string{w.Name}
+		for _, n := range []int{8, 16, 32, 64} {
+			res := r.ablationRun(w, func(o *Options) { o.TPSTLBEntries = n })
+			row = append(row, pct(res.MMU.L1MissRatePerAccess()))
+		}
+		t.AddRow(row...)
+	}
+	return t
+}
+
+// AblationSkewedTLB compares the fully associative TPS TLB against the
+// §III-A2 skewed-associative alternative at equal capacity.
+func (r *Runner) AblationSkewedTLB() *Table {
+	t := &Table{
+		Title:  "Ablation: TPS TLB Organization (fully associative vs skewed-associative, 32 entries)",
+		Header: []string{"benchmark", "FA miss rate", "skewed miss rate"},
+	}
+	for _, w := range r.ablationSuite() {
+		fa := r.ablationRun(w, func(o *Options) {})
+		sk := r.ablationRun(w, func(o *Options) { o.TPSTLBSkewed = true })
+		t.AddRow(w.Name,
+			pct(fa.MMU.L1MissRatePerAccess()),
+			pct(sk.MMU.L1MissRatePerAccess()))
+	}
+	return t
+}
+
+// AblationFiveLevel compares 4-level and 5-level page tables (§I cites
+// the growth of walk overhead with five-level paging).
+func (r *Runner) AblationFiveLevel() *Table {
+	t := &Table{
+		Title:  "Ablation: Four- vs Five-Level Page Tables (THP baseline vs TPS)",
+		Header: []string{"benchmark", "THP walkrefs (4-lvl)", "THP walkrefs (5-lvl)", "TPS walkrefs (5-lvl)"},
+	}
+	for _, w := range r.ablationSuite() {
+		thp4 := r.run(w, SetupTHP, runFlags{})
+		res5 := func(setup Setup) Result {
+			opts := Options{
+				Setup: setup, Refs: r.cfg.Refs, Seed: r.cfg.Seed,
+				MemoryPages: r.cfg.MemoryPages, Levels: addr.Levels5,
+			}
+			res, err := Run(w, opts)
+			if err != nil {
+				panic(err)
+			}
+			return res
+		}
+		thp5 := res5(SetupTHP)
+		tps5 := res5(SetupTPS)
+		t.AddRow(w.Name,
+			fmt.Sprintf("%d", thp4.WalkMemRefs),
+			fmt.Sprintf("%d", thp5.WalkMemRefs),
+			fmt.Sprintf("%d", tps5.WalkMemRefs))
+	}
+	return t
+}

@@ -1,0 +1,151 @@
+package tps
+
+// One benchmark per table/figure of the paper's evaluation. Each bench
+// regenerates the figure's rows (printed on the first iteration) and
+// reports the wall time of a full regeneration at the bench reference
+// budget. Absolute numbers depend on the simulated substrate, not the
+// authors' testbed; the reproduction target is the shape of each figure.
+//
+// Deeper runs: TPS_BENCH_REFS=2000000 go test -bench=Fig10 -benchmem
+
+import (
+	"fmt"
+	"os"
+	"strconv"
+	"testing"
+)
+
+// benchRefs is the measured reference budget per simulation run.
+func benchRefs() uint64 {
+	if s := os.Getenv("TPS_BENCH_REFS"); s != "" {
+		if v, err := strconv.ParseUint(s, 10, 64); err == nil && v > 0 {
+			return v
+		}
+	}
+	return 100_000
+}
+
+// benchSuite selects the workload suite: the full twelve-benchmark
+// evaluation suite by default, or a diverse N-benchmark subset with
+// TPS_BENCH_WORKLOADS=N for quicker sweeps (initialization of the
+// multi-GB footprints dominates bench time).
+func benchSuite() []Workload {
+	if s := os.Getenv("TPS_BENCH_WORKLOADS"); s != "" {
+		if n, err := strconv.Atoi(s); err == nil && n > 0 && n < 12 {
+			names := []string{"gups", "gcc", "mcf", "xsbench", "lbm", "graph500",
+				"dbx1000", "omnetpp", "cactuBSSN", "roms", "xalancbmk", "fotonik3d"}
+			var out []Workload
+			for _, name := range names[:n] {
+				if w, ok := WorkloadByName(name); ok {
+					out = append(out, w)
+				}
+			}
+			return out
+		}
+	}
+	return nil // Runner default: the full evaluation suite
+}
+
+func benchFigure(b *testing.B, f func(*Runner) *Table) {
+	b.Helper()
+	for i := 0; i < b.N; i++ {
+		r := NewRunner(FigureConfig{Refs: benchRefs(), Suite: benchSuite()})
+		t := f(r)
+		if i == 0 {
+			fmt.Println(t.Render())
+		}
+	}
+}
+
+func BenchmarkTableI_Config(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		t := TableI()
+		if i == 0 {
+			fmt.Println(t.Render())
+		}
+	}
+}
+
+func BenchmarkFig2_PageWalkOverhead(b *testing.B) {
+	benchFigure(b, (*Runner).Fig2)
+}
+
+func BenchmarkFig3_PerfectL1TLB(b *testing.B) {
+	benchFigure(b, (*Runner).Fig3)
+}
+
+func BenchmarkFig8_MPKIProfile(b *testing.B) {
+	benchFigure(b, (*Runner).Fig8)
+}
+
+func BenchmarkFig9_Exclusive2MBFootprint(b *testing.B) {
+	benchFigure(b, (*Runner).Fig9)
+}
+
+func BenchmarkFig10_L1MissElimination(b *testing.B) {
+	benchFigure(b, (*Runner).Fig10)
+}
+
+func BenchmarkFig11_WalkRefElimination(b *testing.B) {
+	benchFigure(b, (*Runner).Fig11)
+}
+
+func BenchmarkFig12_SavablePWCycles(b *testing.B) {
+	benchFigure(b, (*Runner).Fig12)
+}
+
+func BenchmarkFig13_SpeedupNative(b *testing.B) {
+	benchFigure(b, (*Runner).Fig13)
+}
+
+func BenchmarkFig14_SpeedupSMT(b *testing.B) {
+	benchFigure(b, (*Runner).Fig14)
+}
+
+func BenchmarkFig15_FreeMemCoverage(b *testing.B) {
+	benchFigure(b, (*Runner).Fig15)
+}
+
+func BenchmarkFig16_FragmentedElimination(b *testing.B) {
+	benchFigure(b, (*Runner).Fig16)
+}
+
+func BenchmarkFig17_SystemTime(b *testing.B) {
+	benchFigure(b, (*Runner).Fig17)
+}
+
+func BenchmarkFig18_PageSizeCensus(b *testing.B) {
+	benchFigure(b, (*Runner).Fig18)
+}
+
+func BenchmarkAblation_AliasStrategy(b *testing.B) {
+	benchFigure(b, (*Runner).AblationAliasStrategy)
+}
+
+func BenchmarkAblation_PromotionThreshold(b *testing.B) {
+	benchFigure(b, (*Runner).AblationPromotionThreshold)
+}
+
+func BenchmarkAblation_ReservationSizing(b *testing.B) {
+	benchFigure(b, (*Runner).AblationReservationSizing)
+}
+
+func BenchmarkAblation_TPSTLBSize(b *testing.B) {
+	benchFigure(b, (*Runner).AblationTPSTLBSize)
+}
+
+func BenchmarkAblation_FiveLevel(b *testing.B) {
+	benchFigure(b, (*Runner).AblationFiveLevel)
+}
+
+func BenchmarkAblation_SkewedTLB(b *testing.B) {
+	benchFigure(b, (*Runner).AblationSkewedTLB)
+}
+
+func BenchmarkExt_CompactionDaemon(b *testing.B) {
+	benchFigure(b, (*Runner).ExtCompactionDaemon)
+}
+
+func BenchmarkExt_CowPolicies(b *testing.B) {
+	benchFigure(b, (*Runner).ExtCowPolicies)
+}

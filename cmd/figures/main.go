@@ -1,0 +1,87 @@
+// Command figures regenerates the tables and figures of the paper's
+// evaluation section. Each figure prints the same rows/series the paper
+// reports; shapes (who wins, by what factor) are the reproduction target,
+// not absolute cycle counts.
+//
+// Usage:
+//
+//	figures -all                 # every table and figure
+//	figures -fig 10              # one figure
+//	figures -ablations           # the design-choice ablations
+//	figures -refs 2000000        # deeper runs
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"tps"
+)
+
+func main() {
+	var (
+		fig       = flag.Int("fig", 0, "figure number to regenerate (2,3,8,9,...,18)")
+		all       = flag.Bool("all", false, "regenerate every table and figure")
+		ablations = flag.Bool("ablations", false, "run the design-choice ablations")
+		refs      = flag.Uint64("refs", 1<<20, "measured references per run")
+		seed      = flag.Int64("seed", 42, "workload generator seed")
+	)
+	flag.Parse()
+
+	r := tps.NewRunner(tps.FigureConfig{Refs: *refs, Seed: *seed})
+
+	figures := map[int]func() *tps.Table{
+		1:  tps.TableI,
+		2:  r.Fig2,
+		3:  r.Fig3,
+		8:  r.Fig8,
+		9:  r.Fig9,
+		10: r.Fig10,
+		11: r.Fig11,
+		12: r.Fig12,
+		13: r.Fig13,
+		14: r.Fig14,
+		15: r.Fig15,
+		16: r.Fig16,
+		17: r.Fig17,
+		18: r.Fig18,
+	}
+
+	switch {
+	case *all:
+		for _, n := range []int{1, 2, 3, 8, 9, 10, 11, 12, 13, 14, 15, 16, 17, 18} {
+			fmt.Println(figures[n]().Render())
+		}
+		if *ablations {
+			runAblations(r)
+		}
+	case *ablations:
+		runAblations(r)
+	case *fig != 0:
+		f, ok := figures[*fig]
+		if !ok {
+			fmt.Fprintf(os.Stderr, "no such figure %d (have 1-3, 8-18; 4-7 are hardware schematics realized in code)\n", *fig)
+			os.Exit(1)
+		}
+		fmt.Println(f().Render())
+	default:
+		flag.Usage()
+		os.Exit(2)
+	}
+}
+
+func runAblations(r *tps.Runner) {
+	for _, f := range []func() *tps.Table{
+		r.AblationAliasStrategy,
+		r.AblationPromotionThreshold,
+		r.AblationReservationSizing,
+		r.AblationTPSTLBSize,
+		r.AblationSkewedTLB,
+		r.AblationFiveLevel,
+		r.ExtCompactionDaemon,
+		r.ExtCowPolicies,
+	} {
+		fmt.Println(f().Render())
+	}
+}

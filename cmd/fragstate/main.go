@@ -1,0 +1,53 @@
+// Command fragstate reproduces the paper's /proc/buddyinfo study
+// (Fig. 15): it churns a buddy allocator into a fragmented steady state
+// and prints the buddyinfo-style free-list population plus the fraction of
+// free memory each single page size could use.
+//
+// Usage:
+//
+//	fragstate -mem 16 -free 0.35
+package main
+
+import (
+	"flag"
+	"fmt"
+
+	"tps/internal/addr"
+	"tps/internal/buddy"
+	"tps/internal/fragstate"
+)
+
+func main() {
+	var (
+		memGB = flag.Uint64("mem", 16, "physical memory in GB")
+		free  = flag.Float64("free", 0.35, "target free fraction after churn")
+		seed  = flag.Int64("seed", 1, "churn seed")
+	)
+	flag.Parse()
+
+	a := buddy.New(*memGB << (30 - addr.BasePageShift))
+	p := fragstate.DefaultParams()
+	p.TargetFreeFraction = *free
+	p.Seed = *seed
+	fragstate.Fragment(a, p)
+
+	fmt.Printf("memory: %d GB, free: %.1f%% (%s)\n\n",
+		*memGB, 100*float64(a.FreePages())/float64(a.TotalPages()),
+		addr.FormatSize(a.FreePages()*addr.BasePageSize))
+
+	fmt.Println("buddyinfo (free blocks per order):")
+	snap := a.Snapshot()
+	for o := addr.Order(0); o <= buddy.MaxOrder; o++ {
+		fmt.Printf("  %-5s %8d\n", o, snap[o])
+	}
+
+	fmt.Println("\nfree memory coverage by single page size (Fig. 15):")
+	cov := a.Coverage()
+	for o := addr.Order(0); o <= buddy.MaxOrder; o++ {
+		bar := ""
+		for i := 0; i < int(cov[o]*50); i++ {
+			bar += "#"
+		}
+		fmt.Printf("  %-5s %6.1f%% %s\n", o, 100*cov[o], bar)
+	}
+}

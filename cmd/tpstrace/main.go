@@ -1,0 +1,112 @@
+// Command tpstrace dumps a benchmark's memory-reference stream to a
+// portable text trace, or replays a trace file through the simulator under
+// any translation mechanism. The trace format (see internal/trace/file.go)
+// is region-relative, so externally captured traces — e.g. converted PIN
+// output, the paper's own tracing method — can be fed straight in.
+//
+//	tpstrace -dump -workload gups -refs 500000 > gups.trace
+//	tpstrace -replay gups.trace -setup tps
+//	tpstrace -replay gups.trace -setup thp
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"tps"
+	"tps/internal/addr"
+	"tps/internal/buddy"
+	"tps/internal/mmu"
+	"tps/internal/trace"
+	"tps/internal/vmm"
+)
+
+func main() {
+	var (
+		dump   = flag.Bool("dump", false, "dump a workload's trace to stdout")
+		replay = flag.String("replay", "", "trace file to replay")
+		name   = flag.String("workload", "gups", "workload to dump")
+		setup  = flag.String("setup", "tps", "mechanism for replay: 4k, thp, tps")
+		refs   = flag.Uint64("refs", 200_000, "measured references to dump")
+		seed   = flag.Int64("seed", 42, "generator seed")
+		memGB  = flag.Uint64("mem", 16, "physical memory in GB for replay")
+	)
+	flag.Parse()
+
+	switch {
+	case *dump:
+		w, ok := tps.WorkloadByName(*name)
+		if !ok {
+			fmt.Fprintf(os.Stderr, "unknown workload %q\n", *name)
+			os.Exit(1)
+		}
+		fw := trace.NewFileWriter(os.Stdout)
+		fmt.Printf("# tps trace: workload=%s refs=%d seed=%d\n", w.Name, *refs, *seed)
+		if err := w.Run(fw, *refs, *seed); err != nil {
+			fmt.Fprintf(os.Stderr, "dump failed: %v\n", err)
+			os.Exit(1)
+		}
+		if err := fw.Flush(); err != nil {
+			fmt.Fprintf(os.Stderr, "flush failed: %v\n", err)
+			os.Exit(1)
+		}
+	case *replay != "":
+		f, err := os.Open(*replay)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "%v\n", err)
+			os.Exit(1)
+		}
+		defer f.Close()
+
+		var policy vmm.Policy
+		var org mmu.Organization
+		switch *setup {
+		case "4k":
+			policy, org = vmm.PolicyBase4K, mmu.OrgConventional
+		case "thp":
+			policy, org = vmm.PolicyTHP, mmu.OrgConventional
+		case "tps":
+			policy, org = vmm.PolicyTPS, mmu.OrgTPS
+		default:
+			fmt.Fprintf(os.Stderr, "unknown setup %q\n", *setup)
+			os.Exit(1)
+		}
+		bud := buddy.New(*memGB << 18)
+		kcfg := vmm.DefaultConfig(policy)
+		kernel := vmm.New(kcfg, bud)
+		hw := mmu.New(mmu.DefaultConfig(org), kernel.Table(), nil, nil)
+		kernel.AttachMMU(hw)
+
+		sink := &replaySink{kernel: kernel}
+		if err := trace.Replay(f, sink); err != nil {
+			fmt.Fprintf(os.Stderr, "replay failed: %v\n", err)
+			os.Exit(1)
+		}
+		s := hw.Stats()
+		fmt.Printf("mechanism      %s\naccesses       %d\nL1 hit rate    %.2f%%\nL1 misses      %d\npage walks     %d\nwalk refs      %d\n",
+			policy, s.Accesses, 100*float64(s.L1Hits)/float64(s.Accesses), s.L1Misses, s.Walks, s.WalkRefs)
+		census := kernel.PageSizeCensus()
+		fmt.Println("census:")
+		for o := addr.Order(0); o <= addr.Order1G; o++ {
+			if n := census[o]; n > 0 {
+				fmt.Printf("  %-5s %d\n", o, n)
+			}
+		}
+	default:
+		flag.Usage()
+		os.Exit(2)
+	}
+}
+
+// replaySink adapts the kernel as a trace.Sink.
+type replaySink struct {
+	kernel *vmm.Kernel
+}
+
+func (r *replaySink) Mmap(size uint64) (addr.Virt, error) { return r.kernel.Mmap(size, 0) }
+func (r *replaySink) Munmap(base addr.Virt) error         { return r.kernel.Munmap(base) }
+func (r *replaySink) Ref(ref trace.Ref) error {
+	_, err := r.kernel.Access(ref.Addr, ref.Write)
+	return err
+}

@@ -1,0 +1,33 @@
+// Copy-on-write for tailored pages (§III-C3): fork-style sharing of a
+// region mapped with one large tailored page, then sparse writes through
+// the clone. The two resolution policies the paper describes trade copy
+// time against TLB pressure:
+//
+//   - cow-split copies only the written 4 KB page and remaps the rest of
+//     the tailored page as smaller pieces that keep sharing frames;
+//   - cow-full copies the whole tailored page, keeping the mapping coarse.
+package main
+
+import (
+	"fmt"
+
+	"tps/internal/vmm"
+)
+
+func main() {
+	const (
+		regionBytes = 64 << 20 // one 64 MB tailored page after promotion
+		writeFrac   = 0.01     // 1% of pages written after the clone
+	)
+	fmt.Printf("region: %d MB, writes after clone: %.0f%% of pages\n\n",
+		regionBytes>>20, writeFrac*100)
+	fmt.Printf("%-10s %12s %14s %22s %12s\n",
+		"policy", "cow faults", "pages copied", "pages mapping region", "sys cycles")
+	for _, policy := range []vmm.CowPolicy{vmm.CowSplit, vmm.CowFull} {
+		res := vmm.CowExperiment(policy, regionBytes, writeFrac, 42)
+		fmt.Printf("%-10s %12d %14d %22d %12d\n",
+			policy, res.Faults, res.CopiedPages, res.RegionPages, res.SysCycles)
+	}
+	fmt.Println("\ncow-split saves copy time and memory; cow-full preserves the")
+	fmt.Println("single-TLB-entry mapping. The OS can choose per fault (§III-C3).")
+}

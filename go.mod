@@ -1,0 +1,3 @@
+module tps
+
+go 1.22

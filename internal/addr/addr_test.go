@@ -1,0 +1,295 @@
+package addr
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func TestOrderPageSize(t *testing.T) {
+	cases := []struct {
+		o    Order
+		size uint64
+		str  string
+	}{
+		{0, 4 << 10, "4K"},
+		{1, 8 << 10, "8K"},
+		{2, 16 << 10, "16K"},
+		{9, 2 << 20, "2M"},
+		{10, 4 << 20, "4M"},
+		{18, 1 << 30, "1G"},
+	}
+	for _, c := range cases {
+		if got := c.o.PageSize(); got != c.size {
+			t.Errorf("order %d: PageSize=%d, want %d", c.o, got, c.size)
+		}
+		if got := c.o.String(); got != c.str {
+			t.Errorf("order %d: String=%q, want %q", c.o, got, c.str)
+		}
+		if got := c.o.Pages(); got != c.size/BasePageSize {
+			t.Errorf("order %d: Pages=%d, want %d", c.o, got, c.size/BasePageSize)
+		}
+	}
+}
+
+func TestOrderValid(t *testing.T) {
+	if Order(-1).Valid() {
+		t.Error("order -1 should be invalid")
+	}
+	if !Order(0).Valid() || !Order(MaxOrder).Valid() {
+		t.Error("orders 0..MaxOrder should be valid")
+	}
+	if Order(MaxOrder + 1).Valid() {
+		t.Error("order beyond MaxOrder should be invalid")
+	}
+}
+
+func TestFormatSize(t *testing.T) {
+	cases := map[uint64]string{
+		4096:          "4K",
+		2 << 20:       "2M",
+		1 << 30:       "1G",
+		3 << 30:       "3G",
+		12345:         "12345B",
+		28 << 10:      "28K",
+		1536 << 10:    "1536K",
+		1536 << 20:    "1536M",
+		(1 << 30) + 1: "1073741825B",
+	}
+	for b, want := range cases {
+		if got := FormatSize(b); got != want {
+			t.Errorf("FormatSize(%d)=%q, want %q", b, got, want)
+		}
+	}
+}
+
+func TestVirtAlignment(t *testing.T) {
+	v := Virt(0x12345678)
+	if v.AlignDown(0) != 0x12345000 {
+		t.Errorf("AlignDown(0)=%x", v.AlignDown(0))
+	}
+	if v.AlignUp(0) != 0x12346000 {
+		t.Errorf("AlignUp(0)=%x", v.AlignUp(0))
+	}
+	if v.AlignDown(9) != 0x12200000 {
+		t.Errorf("AlignDown(9)=%x", v.AlignDown(9))
+	}
+	if !Virt(0x200000).Aligned(9) {
+		t.Error("2M address should be 2M aligned")
+	}
+	if Virt(0x201000).Aligned(9) {
+		t.Error("2M+4K address should not be 2M aligned")
+	}
+	if got := v.Offset(0); got != 0x678 {
+		t.Errorf("Offset(0)=%x", got)
+	}
+	if got := v.Offset(9); got != 0x145678 {
+		t.Errorf("Offset(9)=%x", got)
+	}
+}
+
+func TestAlignUpAlreadyAligned(t *testing.T) {
+	v := Virt(0x400000)
+	if v.AlignUp(9) != v {
+		t.Errorf("AlignUp of aligned address must be identity, got %x", v.AlignUp(9))
+	}
+}
+
+func TestTableIndex(t *testing.T) {
+	// Construct an address with known indices: idx3=5, idx2=7, idx1=9, idx0=11.
+	v := Virt(5)<<39 | Virt(7)<<30 | Virt(9)<<21 | Virt(11)<<12 | 0x123
+	for lvl, want := range map[int]uint{0: 11, 1: 9, 2: 7, 3: 5} {
+		if got := v.TableIndex(lvl); got != want {
+			t.Errorf("TableIndex(%d)=%d, want %d", lvl, got, want)
+		}
+	}
+}
+
+func TestCanonical(t *testing.T) {
+	if !Virt(0).Canonical(Levels4) {
+		t.Error("0 should be canonical")
+	}
+	if !Virt(0x00007fffffffffff).Canonical(Levels4) {
+		t.Error("top of low half should be canonical")
+	}
+	if Virt(0x0000800000000000).Canonical(Levels4) {
+		t.Error("first non-canonical address accepted")
+	}
+	if !Virt(0xffff800000000000).Canonical(Levels4) {
+		t.Error("bottom of high half should be canonical")
+	}
+	if !Virt(0x0100000000000000-1).Canonical(Levels5) == false {
+		// 57-bit low half top: 2^56-1
+		if !Virt((1 << 56) - 1).Canonical(Levels5) {
+			t.Error("top of 5-level low half should be canonical")
+		}
+	}
+}
+
+func TestOrderForSize(t *testing.T) {
+	cases := map[uint64]Order{
+		1:             0,
+		4096:          0,
+		4097:          1,
+		8192:          1,
+		2 << 20:       9,
+		(2 << 20) + 1: 10,
+		1 << 30:       18,
+		1 << 40:       18, // capped
+	}
+	for size, want := range cases {
+		if got := OrderForSize(size); got != want {
+			t.Errorf("OrderForSize(%d)=%d, want %d", size, got, want)
+		}
+	}
+}
+
+func TestLargestOrderFor(t *testing.T) {
+	// Aligned VPN 0 with 7 pages: largest contained aligned order is 2 (4 pages).
+	if got := LargestOrderFor(0, 7); got != 2 {
+		t.Errorf("LargestOrderFor(0,7)=%d, want 2", got)
+	}
+	// Misaligned VPN 1 can only hold order 0.
+	if got := LargestOrderFor(1, 1024); got != 0 {
+		t.Errorf("LargestOrderFor(1,1024)=%d, want 0", got)
+	}
+	// VPN 2 is 2-aligned: order 1 fits.
+	if got := LargestOrderFor(2, 1024); got != 1 {
+		t.Errorf("LargestOrderFor(2,1024)=%d, want 1", got)
+	}
+	// Fully aligned large region caps at MaxOrder.
+	if got := LargestOrderFor(0, 1<<30); got != MaxOrder {
+		t.Errorf("LargestOrderFor(0,2^30)=%d, want %d", got, MaxOrder)
+	}
+}
+
+func TestSplitNAPOTPaperExample(t *testing.T) {
+	// Paper §III-B2: an aligned 28 KB request => 16K + 8K + 4K.
+	chunks := SplitNAPOT(0, 7)
+	wantOrders := []Order{2, 1, 0}
+	if len(chunks) != len(wantOrders) {
+		t.Fatalf("got %d chunks, want %d", len(chunks), len(wantOrders))
+	}
+	var vpn VPN
+	for i, c := range chunks {
+		if c.Order != wantOrders[i] {
+			t.Errorf("chunk %d order=%d, want %d", i, c.Order, wantOrders[i])
+		}
+		if c.VPN != vpn {
+			t.Errorf("chunk %d vpn=%d, want %d", i, c.VPN, vpn)
+		}
+		vpn = c.End()
+	}
+}
+
+func TestSplitNAPOTMisaligned(t *testing.T) {
+	// Starting at VPN 3 with 6 pages: 4K(3) + 16K(4..7) + 4K(8).
+	chunks := SplitNAPOT(3, 6)
+	wantOrders := []Order{0, 2, 0}
+	if len(chunks) != 3 {
+		t.Fatalf("got %d chunks: %v", len(chunks), chunks)
+	}
+	for i, c := range chunks {
+		if c.Order != wantOrders[i] {
+			t.Errorf("chunk %d order=%d, want %d", i, c.Order, wantOrders[i])
+		}
+	}
+}
+
+// Property: SplitNAPOT exactly tiles the input region with naturally
+// aligned chunks and never uses more chunks than 2*levels-ish bound.
+func TestSplitNAPOTProperties(t *testing.T) {
+	f := func(vpnSeed uint32, pagesSeed uint16) bool {
+		vpn := VPN(vpnSeed)
+		pages := uint64(pagesSeed)%4096 + 1
+		chunks := SplitNAPOT(vpn, pages)
+		cur := vpn
+		var total uint64
+		for _, c := range chunks {
+			if c.VPN != cur {
+				return false // must be contiguous in order
+			}
+			if !c.VPN.Aligned(c.Order) {
+				return false // must be naturally aligned
+			}
+			cur = c.End()
+			total += c.Order.Pages()
+		}
+		return total == pages
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 2000}); err != nil {
+		t.Error(err)
+	}
+}
+
+// Property: SplitNAPOT is minimal — no two adjacent chunks of equal order
+// could be merged (that would require alignment, which the greedy carve
+// already would have taken).
+func TestSplitNAPOTMinimality(t *testing.T) {
+	rng := rand.New(rand.NewSource(42))
+	for i := 0; i < 500; i++ {
+		vpn := VPN(rng.Uint64() % (1 << 20))
+		pages := rng.Uint64()%2048 + 1
+		chunks := SplitNAPOT(vpn, pages)
+		for j := 0; j+1 < len(chunks); j++ {
+			a, b := chunks[j], chunks[j+1]
+			if a.Order == b.Order && a.VPN.Aligned(a.Order+1) {
+				t.Fatalf("mergeable chunks %v %v in split of (%d,%d)", a, b, vpn, pages)
+			}
+		}
+	}
+}
+
+func TestPageNumberRoundTrip(t *testing.T) {
+	f := func(raw uint64) bool {
+		v := Virt(raw)
+		return v.PageNumber().Addr() == v.AlignDown(0)
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+	g := func(raw uint64) bool {
+		p := Phys(raw)
+		return p.PageNumber().Addr() == p.AlignDown(0)
+	}
+	if err := quick.Check(g, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestVPNAlignment(t *testing.T) {
+	if got := VPN(0x1234).AlignDown(4); got != 0x1230 {
+		t.Errorf("VPN AlignDown=%x", got)
+	}
+	if !VPN(0x1230).Aligned(4) {
+		t.Error("0x1230 should be order-4 aligned")
+	}
+	if VPN(0x1231).Aligned(4) {
+		t.Error("0x1231 should not be order-4 aligned")
+	}
+	if got := PFN(0x1fff).AlignDown(9); got != 0x1e00 {
+		t.Errorf("PFN AlignDown=%x", got)
+	}
+}
+
+func TestLog2AndIsPow2(t *testing.T) {
+	if Log2(1) != 0 || Log2(2) != 1 || Log2(3) != 1 || Log2(1024) != 10 {
+		t.Error("Log2 wrong")
+	}
+	if !IsPow2(1) || !IsPow2(4096) || IsPow2(0) || IsPow2(12) {
+		t.Error("IsPow2 wrong")
+	}
+}
+
+func TestChunkEnd(t *testing.T) {
+	c := Chunk{VPN: 16, Order: 2}
+	if c.End() != 20 {
+		t.Errorf("End=%d, want 20", c.End())
+	}
+}
+
+func BenchmarkSplitNAPOT(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		SplitNAPOT(VPN(i)&0xfffff, 12345)
+	}
+}

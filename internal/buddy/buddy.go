@@ -1,0 +1,380 @@
+// Package buddy implements the physical-memory buddy allocator the paper's
+// OS layer depends on (§II-B). It tracks all free physical memory in
+// per-order free lists of naturally aligned power-of-two blocks, splitting
+// larger blocks on demand and eagerly merging freed buddies, exactly as the
+// Linux allocator the paper describes.
+//
+// Beyond allocation, the package provides the pieces the evaluation needs:
+//
+//   - /proc/buddyinfo-style snapshots of the free-list population,
+//   - free-memory coverage analysis ("what fraction of free memory could a
+//     single page size use", Fig. 15),
+//   - compaction (migrating used blocks to coalesce free space, §II-B),
+//   - deterministic churn for building fragmented initial states (Fig. 16).
+package buddy
+
+import (
+	"container/heap"
+	"fmt"
+	"sort"
+
+	"tps/internal/addr"
+)
+
+// pfnHeap is a min-heap of frame numbers. Together with the membership maps
+// it gives deterministic lowest-address-first allocation (entries deleted by
+// buddy merges are discarded lazily at pop time).
+type pfnHeap []addr.PFN
+
+func (h pfnHeap) Len() int            { return len(h) }
+func (h pfnHeap) Less(i, j int) bool  { return h[i] < h[j] }
+func (h pfnHeap) Swap(i, j int)       { h[i], h[j] = h[j], h[i] }
+func (h *pfnHeap) Push(x interface{}) { *h = append(*h, x.(addr.PFN)) }
+func (h *pfnHeap) Pop() interface{} {
+	old := *h
+	n := len(old)
+	x := old[n-1]
+	*h = old[:n-1]
+	return x
+}
+
+// MaxOrder is the largest block order the allocator manages. Linux uses 11
+// (4 MB); we extend to addr.MaxOrder (1 GB) so tailored reservations up to
+// the largest page size are a single free-list hit, mirroring the paper's
+// assumption that the allocator can hand out any power-of-two block.
+const MaxOrder = addr.MaxOrder
+
+// Stats counts allocator work. The system-time model (Fig. 17) charges a
+// fixed cost per operation, so the counters must cover every mutation.
+type Stats struct {
+	Allocs     uint64 // successful block allocations
+	Frees      uint64 // block frees
+	Splits     uint64 // block splits during allocation
+	Merges     uint64 // buddy merges during free
+	Failures   uint64 // allocation failures (no block large enough)
+	Migrations uint64 // base pages moved by compaction
+}
+
+// Allocator is a buddy allocator over a contiguous physical range starting
+// at frame 0. It is not safe for concurrent use; the simulator is
+// single-threaded per address space, like the paper's PIN-based model.
+type Allocator struct {
+	totalPages uint64
+	freePages  uint64
+
+	// freeLists[o] holds the starting PFN of every free order-o block,
+	// as a set for O(1) buddy lookup during merge. heaps[o] shadows the
+	// set to provide deterministic lowest-address allocation.
+	freeLists [MaxOrder + 1]map[addr.PFN]struct{}
+	heaps     [MaxOrder + 1]pfnHeap
+
+	// owner maps the first frame of every *allocated* block to its order,
+	// so Free can validate and size the release, and compaction can
+	// enumerate used blocks.
+	owner map[addr.PFN]addr.Order
+
+	stats Stats
+}
+
+// New creates an allocator managing totalPages base frames. The range is
+// seeded with the largest aligned blocks that fit, as after boot.
+func New(totalPages uint64) *Allocator {
+	a := &Allocator{totalPages: totalPages, owner: make(map[addr.PFN]addr.Order)}
+	for o := range a.freeLists {
+		a.freeLists[o] = make(map[addr.PFN]struct{})
+	}
+	var pfn addr.PFN
+	remaining := totalPages
+	for remaining > 0 {
+		o := addr.LargestOrderFor(addr.VPN(pfn), remaining)
+		if o > MaxOrder {
+			o = MaxOrder
+		}
+		a.pushFree(o, pfn)
+		pfn += addr.PFN(o.Pages())
+		remaining -= o.Pages()
+	}
+	a.freePages = totalPages
+	return a
+}
+
+// TotalPages returns the number of base frames managed.
+func (a *Allocator) TotalPages() uint64 { return a.totalPages }
+
+// FreePages returns the number of free base frames.
+func (a *Allocator) FreePages() uint64 { return a.freePages }
+
+// Stats returns a copy of the operation counters.
+func (a *Allocator) Stats() Stats { return a.stats }
+
+// Alloc allocates a naturally aligned block of the given order, splitting a
+// larger block if necessary (§II-B "Buddy Memory Allocation"). It returns
+// the block's first frame, or an error if no sufficiently large block is
+// free — the caller (OS) then falls back to smaller pages or compaction.
+func (a *Allocator) Alloc(order addr.Order) (addr.PFN, error) {
+	if order < 0 || order > MaxOrder {
+		return 0, fmt.Errorf("buddy: order %d out of range", order)
+	}
+	for o := order; o <= MaxOrder; o++ {
+		pfn, ok := a.popFree(o)
+		if !ok {
+			continue
+		}
+		// Iteratively split until the block is the requested size; the
+		// upper halves go back on the free lists.
+		for cur := o; cur > order; cur-- {
+			half := cur - 1
+			upper := pfn + addr.PFN(half.Pages())
+			a.pushFree(half, upper)
+			a.stats.Splits++
+		}
+		a.owner[pfn] = order
+		a.freePages -= order.Pages()
+		a.stats.Allocs++
+		return pfn, nil
+	}
+	a.stats.Failures++
+	return 0, fmt.Errorf("buddy: no free block of order %d", order)
+}
+
+// AllocLargest allocates the largest available block of order <= max,
+// returning its order. Used by reservation sizing under fragmentation:
+// "leverage what contiguity it can" (§I).
+func (a *Allocator) AllocLargest(max addr.Order) (addr.PFN, addr.Order, error) {
+	for o := max; o >= 0; o-- {
+		if len(a.freeLists[o]) > 0 {
+			pfn, err := a.Alloc(o)
+			return pfn, o, err
+		}
+	}
+	// Nothing at or below max: all free blocks are larger (or none); a
+	// plain Alloc at max will split one if it exists.
+	pfn, err := a.Alloc(max)
+	return pfn, max, err
+}
+
+// Free releases a previously allocated block and merges it with its free
+// buddy repeatedly (§II-B). The pfn must be the exact value returned by
+// Alloc.
+func (a *Allocator) Free(pfn addr.PFN) error {
+	order, ok := a.owner[pfn]
+	if !ok {
+		return fmt.Errorf("buddy: free of unowned block %#x", pfn)
+	}
+	delete(a.owner, pfn)
+	a.freePages += order.Pages()
+	a.stats.Frees++
+
+	for order < MaxOrder {
+		buddyPFN := pfn ^ addr.PFN(order.Pages())
+		if _, free := a.freeLists[order][buddyPFN]; !free {
+			break
+		}
+		delete(a.freeLists[order], buddyPFN) // heap entry discarded lazily
+		if buddyPFN < pfn {
+			pfn = buddyPFN
+		}
+		order++
+		a.stats.Merges++
+	}
+	a.pushFree(order, pfn)
+	return nil
+}
+
+// pushFree adds a free block to the order's set and heap.
+func (a *Allocator) pushFree(o addr.Order, pfn addr.PFN) {
+	a.freeLists[o][pfn] = struct{}{}
+	heap.Push(&a.heaps[o], pfn)
+}
+
+// popFree removes and returns the lowest-addressed free block of the order,
+// discarding heap entries whose blocks were consumed by buddy merges.
+func (a *Allocator) popFree(o addr.Order) (addr.PFN, bool) {
+	h := &a.heaps[o]
+	for h.Len() > 0 {
+		pfn := heap.Pop(h).(addr.PFN)
+		if _, ok := a.freeLists[o][pfn]; ok {
+			delete(a.freeLists[o], pfn)
+			return pfn, true
+		}
+	}
+	return 0, false
+}
+
+// Owned reports whether pfn is the first frame of an allocated block, and
+// the block's order.
+func (a *Allocator) Owned(pfn addr.PFN) (addr.Order, bool) {
+	o, ok := a.owner[pfn]
+	return o, ok
+}
+
+// FreeBlockCount returns the number of free blocks of the given order,
+// mirroring one column of /proc/buddyinfo.
+func (a *Allocator) FreeBlockCount(order addr.Order) int { return len(a.freeLists[order]) }
+
+// Snapshot returns the buddyinfo-style population: count of free blocks per
+// order.
+func (a *Allocator) Snapshot() [MaxOrder + 1]int {
+	var s [MaxOrder + 1]int
+	for o := range a.freeLists {
+		s[o] = len(a.freeLists[o])
+	}
+	return s
+}
+
+// Coverage computes, for each order, the fraction of total free memory that
+// could be allocated using only pages of that single size (Fig. 15): each
+// free block of order b contributes floor(2^b / 2^o) * 2^o base pages of
+// coverage at order o. Order 0 coverage is always 1.0 when any memory is
+// free.
+func (a *Allocator) Coverage() [MaxOrder + 1]float64 {
+	var cov [MaxOrder + 1]float64
+	if a.freePages == 0 {
+		return cov
+	}
+	for o := addr.Order(0); o <= MaxOrder; o++ {
+		var usable uint64
+		for b := o; b <= MaxOrder; b++ {
+			// Free-list blocks are naturally aligned, so every free
+			// order-b block (b >= o) is fully tileable by order-o pages.
+			usable += uint64(len(a.freeLists[b])) * b.Pages()
+		}
+		cov[o] = float64(usable) / float64(a.freePages)
+	}
+	return cov
+}
+
+// LargestFreeOrder returns the order of the largest free block, or -1 if
+// no memory is free.
+func (a *Allocator) LargestFreeOrder() addr.Order {
+	for o := addr.Order(MaxOrder); o >= 0; o-- {
+		if len(a.freeLists[o]) > 0 {
+			return o
+		}
+	}
+	return -1
+}
+
+// usedBlock is one allocated block, for compaction planning.
+type usedBlock struct {
+	pfn   addr.PFN
+	order addr.Order
+}
+
+// Relocation records one block's move during compaction.
+type Relocation struct {
+	Old   addr.PFN
+	New   addr.PFN
+	Order addr.Order
+}
+
+// RelocationSet resolves arbitrary frames through a compaction's block
+// moves (the OS uses it to rewrite PTEs that point anywhere inside a
+// moved block, including frames referenced by several address spaces).
+type RelocationSet []Relocation
+
+// Resolve maps a frame through the set: frames inside a moved block
+// translate by the block's displacement; others are unchanged.
+func (rs RelocationSet) Resolve(pfn addr.PFN) addr.PFN {
+	i := sort.Search(len(rs), func(i int) bool { return rs[i].Old > pfn }) - 1
+	if i < 0 {
+		return pfn
+	}
+	r := rs[i]
+	if pfn >= r.Old+addr.PFN(r.Order.Pages()) {
+		return pfn
+	}
+	return r.New + (pfn - r.Old)
+}
+
+// Compact migrates allocated blocks toward low addresses to coalesce free
+// memory, modeling the memory-compaction daemon (§II-B). It returns the
+// relocations (sorted by old address) so the OS can update PTEs and shoot
+// down TLB entries. Compaction preserves each block's order and natural
+// alignment.
+//
+// The model is idealized full compaction: all used blocks are re-placed
+// first-fit in address order. The paper's daemon is incremental, but the
+// evaluation only needs before/after contiguity states.
+func (a *Allocator) Compact() RelocationSet {
+	used := make([]usedBlock, 0, len(a.owner))
+	for pfn, o := range a.owner {
+		used = append(used, usedBlock{pfn, o})
+	}
+	// Place the largest blocks first (their alignment constraints are the
+	// tightest), breaking ties by current address for determinism.
+	sort.Slice(used, func(i, j int) bool {
+		if used[i].order != used[j].order {
+			return used[i].order > used[j].order
+		}
+		return used[i].pfn < used[j].pfn
+	})
+
+	// Rebuild the world: everything free, then re-allocate in sorted order.
+	relocation := make(RelocationSet, 0, len(used))
+	fresh := New(a.totalPages)
+	for _, b := range used {
+		newPFN, err := fresh.Alloc(b.order)
+		if err != nil {
+			// Cannot happen: the same blocks fit before.
+			panic(fmt.Sprintf("buddy: compaction lost block: %v", err))
+		}
+		if newPFN != b.pfn {
+			a.stats.Migrations += b.order.Pages()
+		}
+		relocation = append(relocation, Relocation{Old: b.pfn, New: newPFN, Order: b.order})
+	}
+	a.freeLists = fresh.freeLists
+	a.heaps = fresh.heaps
+	a.owner = fresh.owner
+	a.freePages = fresh.freePages
+	fresh.stats = Stats{}
+	sort.Slice(relocation, func(i, j int) bool { return relocation[i].Old < relocation[j].Old })
+	return relocation
+}
+
+// CheckInvariants verifies internal consistency: free lists hold aligned,
+// in-range, non-overlapping blocks; free page accounting matches; no block
+// is both free and owned. Tests call this after randomized operation
+// sequences.
+func (a *Allocator) CheckInvariants() error {
+	covered := make(map[addr.PFN]bool)
+	var freeCount uint64
+	for o := addr.Order(0); o <= MaxOrder; o++ {
+		for pfn := range a.freeLists[o] {
+			if !pfn.Aligned(o) {
+				return fmt.Errorf("free block %#x misaligned for order %d", pfn, o)
+			}
+			if uint64(pfn)+o.Pages() > a.totalPages {
+				return fmt.Errorf("free block %#x order %d out of range", pfn, o)
+			}
+			for i := uint64(0); i < o.Pages(); i++ {
+				f := pfn + addr.PFN(i)
+				if covered[f] {
+					return fmt.Errorf("frame %#x on multiple free lists", f)
+				}
+				covered[f] = true
+			}
+			freeCount += o.Pages()
+		}
+	}
+	if freeCount != a.freePages {
+		return fmt.Errorf("freePages=%d but free lists hold %d", a.freePages, freeCount)
+	}
+	var ownedCount uint64
+	for pfn, o := range a.owner {
+		if !pfn.Aligned(o) {
+			return fmt.Errorf("owned block %#x misaligned for order %d", pfn, o)
+		}
+		for i := uint64(0); i < o.Pages(); i++ {
+			if covered[pfn+addr.PFN(i)] {
+				return fmt.Errorf("frame %#x both free and owned", pfn+addr.PFN(i))
+			}
+		}
+		ownedCount += o.Pages()
+	}
+	if freeCount+ownedCount != a.totalPages {
+		return fmt.Errorf("accounting: free %d + owned %d != total %d", freeCount, ownedCount, a.totalPages)
+	}
+	return nil
+}

@@ -1,0 +1,128 @@
+// Package cache models the data-cache hierarchy of Table I: a 32 KB 8-way
+// L1D and a 2 MB 16-way last-level cache with 64-byte lines, plus DRAM.
+// The cycle model uses it to price each memory reference; page-walk
+// references are priced separately by the MMU/CPU layers.
+package cache
+
+import "tps/internal/addr"
+
+// LineShift is log2 of the 64-byte cache line.
+const LineShift = 6
+
+// Cache is one set-associative, true-LRU, physically indexed cache level.
+type Cache struct {
+	name     string
+	sets     int
+	ways     int
+	tick     uint64
+	data     [][]line
+	accesses uint64
+	misses   uint64
+}
+
+type line struct {
+	tag   uint64
+	valid bool
+	lru   uint64
+}
+
+// New builds a cache of the given total size and associativity with
+// 64-byte lines. size must give a power-of-two set count.
+func New(name string, sizeBytes, ways int) *Cache {
+	sets := sizeBytes / (ways << LineShift)
+	if sets <= 0 || !addr.IsPow2(uint64(sets)) {
+		panic("cache: set count must be a positive power of two")
+	}
+	c := &Cache{name: name, sets: sets, ways: ways, data: make([][]line, sets)}
+	for i := range c.data {
+		c.data[i] = make([]line, ways)
+	}
+	return c
+}
+
+// Access looks up (and on miss, fills) the line containing p. It reports
+// whether the access hit.
+func (c *Cache) Access(p addr.Phys) bool {
+	c.accesses++
+	lineAddr := uint64(p) >> LineShift
+	set := c.data[lineAddr&uint64(c.sets-1)]
+	tag := lineAddr / uint64(c.sets)
+	c.tick++
+	var victim *line
+	for i := range set {
+		w := &set[i]
+		if w.valid && w.tag == tag {
+			w.lru = c.tick
+			return true
+		}
+		if victim == nil || !w.valid || (victim.valid && w.lru < victim.lru) {
+			if victim == nil || victim.valid {
+				victim = w
+			}
+		}
+	}
+	c.misses++
+	victim.tag = tag
+	victim.valid = true
+	victim.lru = c.tick
+	return false
+}
+
+// MissRate returns misses/accesses.
+func (c *Cache) MissRate() float64 {
+	if c.accesses == 0 {
+		return 0
+	}
+	return float64(c.misses) / float64(c.accesses)
+}
+
+// Latencies prices accesses by the level that hits (Table I).
+type Latencies struct {
+	L1   uint64 // L1D hit
+	LLC  uint64 // LLC hit (L1 miss)
+	DRAM uint64 // memory access (LLC miss)
+}
+
+// DefaultLatencies returns the Table I timing at 3.2 GHz.
+func DefaultLatencies() Latencies {
+	return Latencies{L1: 4, LLC: 14, DRAM: 220}
+}
+
+// Hierarchy is the two-level data hierarchy plus DRAM.
+type Hierarchy struct {
+	L1D *Cache
+	LLC *Cache
+	Lat Latencies
+}
+
+// NewHierarchy builds the Table I hierarchy.
+func NewHierarchy() *Hierarchy {
+	return &Hierarchy{
+		L1D: New("L1D", 32<<10, 8),
+		LLC: New("LLC", 2<<20, 16),
+		Lat: DefaultLatencies(),
+	}
+}
+
+// Latency performs an access at physical address p and returns its load-to
+// -use latency in cycles.
+func (h *Hierarchy) Latency(p addr.Phys) uint64 {
+	if h.L1D.Access(p) {
+		return h.Lat.L1
+	}
+	if h.LLC.Access(p) {
+		return h.Lat.LLC
+	}
+	return h.Lat.DRAM
+}
+
+// WalkRefLatency prices one page-walk memory reference: walker accesses
+// hit the data hierarchy too ("currently available processors cache PTEs
+// in the data cache hierarchy", §V). The walk ref is priced through the
+// LLC only (PTE lines rarely live in L1D).
+func (h *Hierarchy) WalkRefLatency(p addr.Phys) uint64 {
+	if h.LLC.Access(p) {
+		return h.Lat.LLC
+	}
+	return h.Lat.DRAM
+}

@@ -1,0 +1,110 @@
+// Package colt implements the CoLT (Coalesced Large-Reach TLB) baseline
+// (Pham et al. [46], paper §V). CoLT is a pure-hardware technique: when a
+// page walk completes, the fill logic inspects the neighbouring PTEs in the
+// walked leaf table and, if a run of virtually and physically contiguous
+// same-permission 4 KB pages exists within an aligned cluster, installs a
+// single TLB entry covering the run. CoLT-SA bounds the cluster at 8 pages,
+// "limited to a small number (e.g., 16) of page translations per TLB entry"
+// — which is why it cannot help random-access gigabyte working sets
+// (paper's GUPS discussion, §IV-B).
+package colt
+
+import (
+	"tps/internal/addr"
+	"tps/internal/mmu"
+	"tps/internal/pagetable"
+	"tps/internal/pte"
+	"tps/internal/tlb"
+)
+
+// MaxClusterOrder bounds coalescing: order 3 = 8 contiguous base pages
+// (CoLT-SA's cluster size).
+const MaxClusterOrder = addr.Order(3)
+
+// Stats counts coalescing outcomes.
+type Stats struct {
+	Fills        uint64 // total walk fills seen
+	Coalesced    uint64 // fills that produced a multi-page entry
+	PagesSpanned uint64 // total base pages covered by produced entries
+}
+
+// Coalescer builds CoLT fill entries by probing the page table for
+// contiguity around each walked page.
+type Coalescer struct {
+	table *pagetable.Table
+	max   addr.Order
+	stats Stats
+}
+
+// New creates a coalescer over the walked page table. maxOrder caps the
+// coalesced entry size (MaxClusterOrder for CoLT-SA).
+func New(table *pagetable.Table, maxOrder addr.Order) *Coalescer {
+	if maxOrder <= 0 || maxOrder > MaxClusterOrder {
+		maxOrder = MaxClusterOrder
+	}
+	return &Coalescer{table: table, max: maxOrder}
+}
+
+// Stats returns the coalescing counters.
+func (c *Coalescer) Stats() Stats { return c.stats }
+
+// FillPolicy returns the mmu.FillPolicy performing CoLT coalescing.
+func (c *Coalescer) FillPolicy() mmu.FillPolicy {
+	return func(res pagetable.WalkResult) tlb.Entry {
+		return c.entryFor(res)
+	}
+}
+
+// entryFor inspects the aligned clusters containing the walked page, from
+// largest to smallest, returning the largest fully contiguous one. Both
+// 4 KB and 2 MB translations coalesce (the cluster is always up to 8
+// same-size pages); 1 GB pages install as themselves.
+func (c *Coalescer) entryFor(res pagetable.WalkResult) tlb.Entry {
+	c.stats.Fills++
+	identity := tlb.Entry{VPN: res.VPN, PFN: res.PFN, Order: res.Order, Flags: res.Flags}
+	if res.Order != 0 && res.Order != addr.Order2M {
+		return identity
+	}
+	for k := c.max; k >= 1; k-- {
+		o := res.Order + k
+		base := res.VPN.AlignDown(o)
+		if e, ok := c.contiguous(base, res.Order, k, res.Flags); ok {
+			c.stats.Coalesced++
+			c.stats.PagesSpanned += o.Pages()
+			return e
+		}
+	}
+	c.stats.PagesSpanned += res.Order.Pages()
+	return identity
+}
+
+// contiguous checks whether every page of the aligned cluster of 2^k
+// pages of order `unit` at base is mapped at exactly that size,
+// physically contiguous, and permission-compatible with flags. It returns
+// the coalesced entry on success.
+//
+// Note the produced entry requires no physical alignment: the TLB entry
+// stores the cluster's first frame and translation adds the page offset,
+// exactly as CoLT's sub-block format does. (This differs from TPS tailored
+// pages, whose PTE encoding does require alignment.)
+func (c *Coalescer) contiguous(base addr.VPN, unit, k addr.Order, flags uint64) (tlb.Entry, bool) {
+	first, err := c.table.Lookup(base.Addr())
+	if err != nil || first.Order != unit {
+		return tlb.Entry{}, false
+	}
+	const permMask = pte.FlagWrite | pte.FlagUser | pte.FlagNX
+	step := addr.VPN(unit.Pages())
+	for i := addr.VPN(1); i < 1<<uint(k); i++ {
+		r, err := c.table.Lookup((base + i*step).Addr())
+		if err != nil || r.Order != unit {
+			return tlb.Entry{}, false
+		}
+		if r.PFN != first.PFN+addr.PFN(i*step) {
+			return tlb.Entry{}, false
+		}
+		if (r.Flags^first.Flags)&permMask != 0 {
+			return tlb.Entry{}, false
+		}
+	}
+	return tlb.Entry{VPN: base, PFN: first.PFN, Order: unit + k, Flags: flags}, true
+}

@@ -1,0 +1,164 @@
+package colt
+
+import (
+	"testing"
+
+	"tps/internal/addr"
+	"tps/internal/mmu"
+	"tps/internal/pagetable"
+	"tps/internal/pte"
+)
+
+// mapRun installs `n` 4K pages at consecutive VPNs with consecutive PFNs.
+func mapRun(t *testing.T, pt *pagetable.Table, vpn addr.VPN, pfn addr.PFN, n uint64, flags uint64) {
+	t.Helper()
+	for i := uint64(0); i < n; i++ {
+		if err := pt.Map((vpn + addr.VPN(i)).Addr(), pfn+addr.PFN(i), 0, flags); err != nil {
+			t.Fatal(err)
+		}
+	}
+}
+
+func walk(t *testing.T, pt *pagetable.Table, vpn addr.VPN) pagetable.WalkResult {
+	t.Helper()
+	res, err := pt.Walk(vpn.Addr())
+	if err != nil {
+		t.Fatal(err)
+	}
+	return res
+}
+
+func TestCoalescesFullCluster(t *testing.T) {
+	pt := pagetable.New(addr.Levels4, pagetable.ExtraLookup)
+	mapRun(t, pt, 0x1000, 0x500, 8, pte.FlagWrite)
+	c := New(pt, MaxClusterOrder)
+	e := c.FillPolicy()(walk(t, pt, 0x1003))
+	if e.Order != 3 || e.VPN != 0x1000 || e.PFN != 0x500 {
+		t.Errorf("entry=%+v, want full 8-page cluster", e)
+	}
+	s := c.Stats()
+	if s.Coalesced != 1 || s.Fills != 1 {
+		t.Errorf("stats=%+v", s)
+	}
+}
+
+func TestCoalescesPartialRun(t *testing.T) {
+	pt := pagetable.New(addr.Levels4, pagetable.ExtraLookup)
+	// Only the first 4 pages of the aligned cluster are contiguous; page 4
+	// jumps physically.
+	mapRun(t, pt, 0x1000, 0x500, 4, 0)
+	mapRun(t, pt, 0x1004, 0x900, 4, 0)
+	c := New(pt, MaxClusterOrder)
+	e := c.FillPolicy()(walk(t, pt, 0x1001))
+	if e.Order != 2 || e.VPN != 0x1000 {
+		t.Errorf("entry=%+v, want order-2 sub-cluster", e)
+	}
+	// A walk in the second half coalesces the other aligned sub-cluster.
+	e = c.FillPolicy()(walk(t, pt, 0x1006))
+	if e.Order != 2 || e.VPN != 0x1004 || e.PFN != 0x900 {
+		t.Errorf("entry=%+v", e)
+	}
+}
+
+func TestNoCoalesceOnDiscontiguity(t *testing.T) {
+	pt := pagetable.New(addr.Levels4, pagetable.ExtraLookup)
+	// Scattered frames: no pair is contiguous.
+	for i := addr.VPN(0); i < 8; i++ {
+		pt.Map((0x1000 + i).Addr(), addr.PFN(0x500+uint64(i)*10), 0, 0)
+	}
+	c := New(pt, MaxClusterOrder)
+	e := c.FillPolicy()(walk(t, pt, 0x1002))
+	if e.Order != 0 || e.VPN != 0x1002 {
+		t.Errorf("entry=%+v, want identity", e)
+	}
+	if c.Stats().Coalesced != 0 {
+		t.Error("coalesced scattered pages")
+	}
+}
+
+func TestNoCoalesceAcrossPermissions(t *testing.T) {
+	pt := pagetable.New(addr.Levels4, pagetable.ExtraLookup)
+	mapRun(t, pt, 0x1000, 0x500, 1, pte.FlagWrite)
+	mapRun(t, pt, 0x1001, 0x501, 1, 0) // read-only neighbour
+	c := New(pt, MaxClusterOrder)
+	e := c.FillPolicy()(walk(t, pt, 0x1000))
+	if e.Order != 0 {
+		t.Errorf("coalesced across permissions: %+v", e)
+	}
+}
+
+func TestNoCoalesceWithHole(t *testing.T) {
+	pt := pagetable.New(addr.Levels4, pagetable.ExtraLookup)
+	mapRun(t, pt, 0x1000, 0x500, 1, 0)
+	// vpn 0x1001 unmapped
+	c := New(pt, MaxClusterOrder)
+	e := c.FillPolicy()(walk(t, pt, 0x1000))
+	if e.Order != 0 {
+		t.Errorf("coalesced across a hole: %+v", e)
+	}
+}
+
+func TestHugePagePassesThrough(t *testing.T) {
+	pt := pagetable.New(addr.Levels4, pagetable.ExtraLookup)
+	if err := pt.Map(0x40000000, 0x40000, addr.Order2M, 0); err != nil {
+		t.Fatal(err)
+	}
+	c := New(pt, MaxClusterOrder)
+	e := c.FillPolicy()(walk(t, pt, 0x40000))
+	if e.Order != addr.Order2M {
+		t.Errorf("entry=%+v", e)
+	}
+	if c.Stats().Coalesced != 0 {
+		t.Error("2M page counted as coalesced")
+	}
+}
+
+func TestUnalignedPhysicalStillCoalesces(t *testing.T) {
+	// CoLT does not require physical alignment, only contiguity.
+	pt := pagetable.New(addr.Levels4, pagetable.ExtraLookup)
+	mapRun(t, pt, 0x1000, 0x503, 8, 0) // misaligned frame start
+	c := New(pt, MaxClusterOrder)
+	e := c.FillPolicy()(walk(t, pt, 0x1007))
+	if e.Order != 3 || e.PFN != 0x503 {
+		t.Errorf("entry=%+v", e)
+	}
+	// Translation through the unaligned entry is still exact.
+	if got := e.Translate(0x1005); got != 0x508 {
+		t.Errorf("translate=%#x", got)
+	}
+}
+
+func TestEndToEndWithMMU(t *testing.T) {
+	pt := pagetable.New(addr.Levels4, pagetable.ExtraLookup)
+	mapRun(t, pt, 0x1000, 0x500, 8, pte.FlagWrite)
+	c := New(pt, MaxClusterOrder)
+	m := mmu.New(mmu.DefaultConfig(mmu.OrgCoLT), pt, nil, c.FillPolicy())
+	// One walk fills a cluster entry; the remaining 7 pages hit L1.
+	if _, err := m.Translate(0x1000<<12, false); err != nil {
+		t.Fatal(err)
+	}
+	for i := addr.Virt(1); i < 8; i++ {
+		r, err := m.Translate((0x1000+i)<<12, false)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !r.L1Hit {
+			t.Errorf("page %d missed L1 despite coalescing", i)
+		}
+	}
+	if m.Stats().Walks != 1 {
+		t.Errorf("walks=%d, want 1", m.Stats().Walks)
+	}
+}
+
+func TestMaxOrderClamped(t *testing.T) {
+	pt := pagetable.New(addr.Levels4, pagetable.ExtraLookup)
+	c := New(pt, 12) // beyond CoLT-SA's bound
+	if c.max != MaxClusterOrder {
+		t.Errorf("max=%d", c.max)
+	}
+	c2 := New(pt, 0)
+	if c2.max != MaxClusterOrder {
+		t.Errorf("max=%d", c2.max)
+	}
+}

@@ -1,0 +1,140 @@
+// Package cpu is the lightweight out-of-order timing model standing in for
+// the paper's ZSim-based cycle simulation (§IV-A, Table I): a 4-wide,
+// 256-entry-ROB core at 3.2 GHz.
+//
+// The model captures the first-order effect the paper's Figure 3 isolates:
+// the out-of-order window hides the latency of independent misses (memory-
+// level parallelism bounded by the MSHRs and the ROB), but pointer-chasing
+// loads serialize, putting every L1 TLB miss and page walk on the critical
+// path. It processes an annotated reference stream: the caller supplies
+// each reference's dependence flag and total load-to-use latency, so the
+// same hardware run can be priced under several translation scenarios
+// (real, perfect-L1-TLB, perfect-L2-TLB, no-translation) in one pass.
+package cpu
+
+// Params sizes the core (Table I defaults via DefaultParams).
+type Params struct {
+	Width int // issue width (instructions/cycle)
+	ROB   int // reorder-buffer entries
+	MLP   int // maximum outstanding long-latency loads (MSHRs)
+}
+
+// DefaultParams returns the Table I core.
+func DefaultParams() Params { return Params{Width: 4, ROB: 256, MLP: 10} }
+
+// Model accumulates cycles over an annotated instruction stream.
+type Model struct {
+	p Params
+
+	instrs uint64  // instructions fetched so far
+	clock  float64 // current cycle
+
+	// outstanding loads: fetch index and completion time, oldest first.
+	out []outEntry
+
+	lastLoadDone float64 // completion of the most recent load (dep chains)
+
+	memStall float64 // cycles the clock advanced waiting on loads
+}
+
+type outEntry struct {
+	fetchIdx uint64
+	done     float64
+}
+
+// New creates a model.
+func New(p Params) *Model {
+	if p.Width <= 0 {
+		p.Width = 4
+	}
+	if p.ROB <= 0 {
+		p.ROB = 256
+	}
+	if p.MLP <= 0 {
+		p.MLP = 10
+	}
+	return &Model{p: p}
+}
+
+// Instr accounts n non-memory instructions.
+func (m *Model) Instr(n uint64) {
+	m.instrs += n
+}
+
+// frontier returns the cycle at which the next instruction can issue given
+// fetch bandwidth.
+func (m *Model) frontier() float64 {
+	return float64(m.instrs) / float64(m.p.Width)
+}
+
+// Ref issues one load/store with the given load-to-use latency. dep marks
+// address dependence on the previous load's value.
+func (m *Model) Ref(dep bool, latency uint64) {
+	m.instrs++
+	if f := m.frontier(); f > m.clock {
+		m.clock = f
+	}
+	issue := m.clock
+
+	// Value dependence: cannot issue before the producing load returns.
+	if dep && m.lastLoadDone > issue {
+		m.memStall += m.lastLoadDone - issue
+		issue = m.lastLoadDone
+		m.clock = issue
+	}
+
+	// ROB limit: the oldest incomplete load blocks retirement; once the
+	// window fills, the pipeline waits for it.
+	for len(m.out) > 0 && m.instrs-m.out[0].fetchIdx >= uint64(m.p.ROB) {
+		if m.out[0].done > issue {
+			m.memStall += m.out[0].done - issue
+			issue = m.out[0].done
+			m.clock = issue
+		}
+		m.out = m.out[1:]
+	}
+	// MSHR limit: bounded memory-level parallelism.
+	for len(m.out) >= m.p.MLP {
+		if m.out[0].done > issue {
+			m.memStall += m.out[0].done - issue
+			issue = m.out[0].done
+			m.clock = issue
+		}
+		m.out = m.out[1:]
+	}
+
+	done := issue + float64(latency)
+	m.out = append(m.out, outEntry{fetchIdx: m.instrs, done: done})
+	m.lastLoadDone = done
+}
+
+// Cycles returns the total execution cycles so far: all issued work must
+// drain.
+func (m *Model) Cycles() uint64 {
+	c := m.clock
+	if f := m.frontier(); f > c {
+		c = f
+	}
+	for _, o := range m.out {
+		if o.done > c {
+			c = o.done
+		}
+	}
+	return uint64(c)
+}
+
+// Instructions returns the instruction count.
+func (m *Model) Instructions() uint64 { return m.instrs }
+
+// MemStallCycles returns cycles spent waiting on loads (dep chains, ROB
+// fills, MSHR pressure).
+func (m *Model) MemStallCycles() uint64 { return uint64(m.memStall) }
+
+// IPC returns retired instructions per cycle.
+func (m *Model) IPC() float64 {
+	c := m.Cycles()
+	if c == 0 {
+		return 0
+	}
+	return float64(m.instrs) / float64(c)
+}

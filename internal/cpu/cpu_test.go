@@ -1,0 +1,133 @@
+package cpu
+
+import "testing"
+
+func TestPureComputeIPC(t *testing.T) {
+	m := New(DefaultParams())
+	m.Instr(4000)
+	if got := m.Cycles(); got != 1000 {
+		t.Errorf("4000 instrs on 4-wide = %d cycles, want 1000", got)
+	}
+	if ipc := m.IPC(); ipc != 4.0 {
+		t.Errorf("IPC=%f", ipc)
+	}
+}
+
+func TestShortLoadsHideInPipeline(t *testing.T) {
+	m := New(DefaultParams())
+	for i := 0; i < 1000; i++ {
+		m.Instr(3)
+		m.Ref(false, 4) // L1 hits
+	}
+	// 4000 instructions, loads fully overlapped: ~1000 cycles + drain.
+	if got := m.Cycles(); got > 1010 {
+		t.Errorf("cycles=%d, want ~1000", got)
+	}
+}
+
+func TestDependentChainSerializes(t *testing.T) {
+	m := New(DefaultParams())
+	const lat = 200
+	const n = 100
+	for i := 0; i < n; i++ {
+		m.Ref(true, lat)
+	}
+	// A dependent chain of 200-cycle loads costs ~n*lat.
+	if got := m.Cycles(); got < (n-1)*lat {
+		t.Errorf("cycles=%d, want >= %d", got, (n-1)*lat)
+	}
+}
+
+func TestIndependentMissesOverlap(t *testing.T) {
+	dep := New(DefaultParams())
+	ind := New(DefaultParams())
+	const lat = 200
+	const n = 500
+	for i := 0; i < n; i++ {
+		dep.Instr(2)
+		dep.Ref(true, lat)
+		ind.Instr(2)
+		ind.Ref(false, lat)
+	}
+	d, in := dep.Cycles(), ind.Cycles()
+	if in >= d {
+		t.Fatalf("independent (%d) should be much faster than dependent (%d)", in, d)
+	}
+	// MLP=10 should give roughly an order of magnitude overlap.
+	if in > d/4 {
+		t.Errorf("overlap too weak: dep=%d ind=%d", d, in)
+	}
+}
+
+func TestMLPBoundsOverlap(t *testing.T) {
+	narrow := New(Params{Width: 4, ROB: 256, MLP: 1})
+	wide := New(Params{Width: 4, ROB: 256, MLP: 16})
+	const lat = 100
+	for i := 0; i < 200; i++ {
+		narrow.Ref(false, lat)
+		wide.Ref(false, lat)
+	}
+	if narrow.Cycles() <= wide.Cycles() {
+		t.Errorf("MLP=1 (%d cycles) should be slower than MLP=16 (%d)", narrow.Cycles(), wide.Cycles())
+	}
+}
+
+func TestROBLimitsRunahead(t *testing.T) {
+	small := New(Params{Width: 4, ROB: 8, MLP: 32})
+	big := New(Params{Width: 4, ROB: 512, MLP: 32})
+	for i := 0; i < 300; i++ {
+		small.Instr(7)
+		small.Ref(false, 300)
+		big.Instr(7)
+		big.Ref(false, 300)
+	}
+	if small.Cycles() <= big.Cycles() {
+		t.Errorf("ROB=8 (%d) should be slower than ROB=512 (%d)", small.Cycles(), big.Cycles())
+	}
+}
+
+func TestMemStallAccounting(t *testing.T) {
+	m := New(DefaultParams())
+	for i := 0; i < 50; i++ {
+		m.Ref(true, 100)
+	}
+	if m.MemStallCycles() == 0 {
+		t.Error("no stalls recorded for a dependent chain")
+	}
+	if m.MemStallCycles() > m.Cycles() {
+		t.Error("stalls exceed total cycles")
+	}
+}
+
+func TestTranslationLatencyMatters(t *testing.T) {
+	// The Fig. 3 experiment in miniature: the same dependent stream with
+	// and without a 7-cycle translation penalty per reference.
+	perfect := New(DefaultParams())
+	stlbHit := New(DefaultParams())
+	for i := 0; i < 1000; i++ {
+		perfect.Instr(1)
+		perfect.Ref(true, 14)
+		stlbHit.Instr(1)
+		stlbHit.Ref(true, 14+7)
+	}
+	speedup := float64(stlbHit.Cycles()) / float64(perfect.Cycles())
+	if speedup < 1.2 {
+		t.Errorf("perfect-L1 speedup=%f, want noticeable", speedup)
+	}
+}
+
+func TestDrainCounted(t *testing.T) {
+	m := New(DefaultParams())
+	m.Ref(false, 1000)
+	if got := m.Cycles(); got < 1000 {
+		t.Errorf("cycles=%d, drain not counted", got)
+	}
+}
+
+func TestZeroParamsDefaulted(t *testing.T) {
+	m := New(Params{})
+	m.Instr(8)
+	if m.Cycles() != 2 {
+		t.Errorf("cycles=%d", m.Cycles())
+	}
+}

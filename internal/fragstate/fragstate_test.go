@@ -1,0 +1,84 @@
+package fragstate
+
+import (
+	"testing"
+
+	"tps/internal/addr"
+	"tps/internal/buddy"
+)
+
+func TestFragmentReachesTargetFreeFraction(t *testing.T) {
+	a := buddy.New(1 << 20) // 4 GB
+	Fragment(a, DefaultParams())
+	frac := float64(a.FreePages()) / float64(a.TotalPages())
+	if frac < 0.30 || frac > 0.45 {
+		t.Errorf("free fraction=%.2f, want ~0.35", frac)
+	}
+	if err := a.CheckInvariants(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestCoverageDeclinesWithOrder(t *testing.T) {
+	a := buddy.New(1 << 20)
+	Fragment(a, DefaultParams())
+	cov := a.Coverage()
+	if cov[0] < 0.999 {
+		t.Errorf("4K coverage=%.3f, must be 1", cov[0])
+	}
+	// Monotone non-increasing by construction; the Fig. 15 shape also
+	// requires real intermediate coverage and poor huge coverage.
+	for o := 1; o <= int(addr.Order1G); o++ {
+		if cov[o] > cov[o-1]+1e-9 {
+			t.Errorf("coverage increased at order %d: %.3f -> %.3f", o, cov[o-1], cov[o])
+		}
+	}
+	if cov[4] < 0.10 {
+		t.Errorf("64K coverage=%.3f: intermediate contiguity missing", cov[4])
+	}
+	if cov[addr.Order2M] > cov[4] {
+		t.Errorf("2M coverage (%.3f) should not exceed 64K coverage (%.3f)", cov[addr.Order2M], cov[4])
+	}
+	if cov[addr.Order1G] > 0.5 {
+		t.Errorf("1G coverage=%.3f: state not fragmented", cov[addr.Order1G])
+	}
+}
+
+func TestDeterministic(t *testing.T) {
+	a := buddy.New(1 << 18)
+	b := buddy.New(1 << 18)
+	Fragment(a, DefaultParams())
+	Fragment(b, DefaultParams())
+	if a.Snapshot() != b.Snapshot() {
+		t.Error("same params produced different states")
+	}
+}
+
+func TestSeedVariesState(t *testing.T) {
+	p1, p2 := DefaultParams(), DefaultParams()
+	p2.Seed = 99
+	a := buddy.New(1 << 18)
+	b := buddy.New(1 << 18)
+	Fragment(a, p1)
+	Fragment(b, p2)
+	if a.Snapshot() == b.Snapshot() {
+		t.Error("different seeds produced identical states")
+	}
+}
+
+func TestBadParamsDefaulted(t *testing.T) {
+	a := buddy.New(1 << 16)
+	Fragment(a, Params{TargetFreeFraction: 2, SmallBias: -1, MaxBlockOrder: 99, Seed: 3})
+	if a.FreePages() == 0 || a.FreePages() == a.TotalPages() {
+		t.Error("defaulted params produced degenerate state")
+	}
+}
+
+func TestPreFragmentHook(t *testing.T) {
+	hook := PreFragment(DefaultParams())
+	a := buddy.New(1 << 18)
+	hook(a)
+	if float64(a.FreePages())/float64(a.TotalPages()) > 0.5 {
+		t.Error("hook did not fragment")
+	}
+}

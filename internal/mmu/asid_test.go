@@ -1,0 +1,154 @@
+package mmu
+
+import (
+	"testing"
+
+	"tps/internal/addr"
+	"tps/internal/pagetable"
+	"tps/internal/pte"
+)
+
+// twoThreads builds two MMU contexts sharing one Hardware, with identical
+// virtual layouts mapping to different frames — the aliasing case ASIDs
+// must disambiguate.
+func twoThreads(t *testing.T, org Organization) (*MMU, *MMU) {
+	t.Helper()
+	hw := NewHardware(DefaultConfig(org))
+	pa := pagetable.New(addr.Levels4, pagetable.ExtraLookup)
+	pb := pagetable.New(addr.Levels4, pagetable.ExtraLookup)
+	if err := pa.Map(0x1000, 0xAAA, 0, pte.FlagWrite); err != nil {
+		t.Fatal(err)
+	}
+	if err := pb.Map(0x1000, 0xBBB, 0, pte.FlagWrite); err != nil {
+		t.Fatal(err)
+	}
+	return NewThread(hw, pa, 1, nil, nil), NewThread(hw, pb, 2, nil, nil)
+}
+
+func TestASIDSeparatesIdenticalVAs(t *testing.T) {
+	ma, mb := twoThreads(t, OrgConventional)
+	ra, err := ma.Translate(0x1000, false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rb, err := mb.Translate(0x1000, false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ra.Phys == rb.Phys {
+		t.Fatalf("ASIDs failed to separate: both -> %#x", uint64(ra.Phys))
+	}
+	// Re-access: each thread must hit its OWN entry, not the sibling's.
+	ra2, _ := ma.Translate(0x1000, false)
+	rb2, _ := mb.Translate(0x1000, false)
+	if !ra2.L1Hit || !rb2.L1Hit {
+		t.Error("expected both threads to hit after fill")
+	}
+	if ra2.Phys != ra.Phys || rb2.Phys != rb.Phys {
+		t.Error("cross-ASID pollution: wrong frame on re-access")
+	}
+}
+
+func TestASIDShootdownIsolation(t *testing.T) {
+	ma, mb := twoThreads(t, OrgConventional)
+	ma.Translate(0x1000, false)
+	mb.Translate(0x1000, false)
+	// Shooting down thread A's page must not disturb thread B's entry.
+	ma.ShootdownPage(addr.Virt(0x1000).PageNumber())
+	ra, _ := ma.Translate(0x1000, false)
+	if ra.L1Hit {
+		t.Error("A's entry survived its own shootdown")
+	}
+	rb, _ := mb.Translate(0x1000, false)
+	if !rb.L1Hit {
+		t.Error("B's entry was killed by A's shootdown")
+	}
+}
+
+func TestASIDTaggedTPSTLB(t *testing.T) {
+	hw := NewHardware(DefaultConfig(OrgTPS))
+	pa := pagetable.New(addr.Levels4, pagetable.ExtraLookup)
+	pb := pagetable.New(addr.Levels4, pagetable.ExtraLookup)
+	// Same VA, same tailored size, different frames.
+	if err := pa.Map(0x40000000, 0x10000, 4, pte.FlagWrite); err != nil {
+		t.Fatal(err)
+	}
+	if err := pb.Map(0x40000000, 0x20000, 4, pte.FlagWrite); err != nil {
+		t.Fatal(err)
+	}
+	ma := NewThread(hw, pa, 7, nil, nil)
+	mb := NewThread(hw, pb, 9, nil, nil)
+	ra, _ := ma.Translate(0x40000000+5*addr.BasePageSize, true)
+	rb, _ := mb.Translate(0x40000000+5*addr.BasePageSize, true)
+	if ra.Phys == rb.Phys {
+		t.Fatal("tailored entries collided across ASIDs")
+	}
+	ra2, _ := ma.Translate(0x40000000+9*addr.BasePageSize, false)
+	if !ra2.L1Hit || ra2.Phys != addr.PFN(0x10000+9).Addr() {
+		t.Errorf("mask match broke under tagging: %+v", ra2)
+	}
+}
+
+func TestSharedHardwareCompetition(t *testing.T) {
+	// Two threads with disjoint working sets sharing one TPS TLB must
+	// evict each other; a single thread with the same per-thread load
+	// must not.
+	mkTable := func(base addr.Virt, frames addr.PFN) *pagetable.Table {
+		pt := pagetable.New(addr.Levels4, pagetable.ExtraLookup)
+		for i := addr.Virt(0); i < 24; i++ {
+			v := base + i*addr.Virt(addr.Order2M.PageSize())
+			if err := pt.Map(v, (frames + addr.PFN(i)*512).AlignDown(addr.Order2M), addr.Order2M, pte.FlagWrite); err != nil {
+				t.Fatal(err)
+			}
+		}
+		return pt
+	}
+	run := func(threads int) float64 {
+		hw := NewHardware(DefaultConfig(OrgTPS))
+		var ms []*MMU
+		for i := 0; i < threads; i++ {
+			pt := mkTable(0x40000000, addr.PFN(uint64(i+1)<<22))
+			ms = append(ms, NewThread(hw, pt, uint16(i), nil, nil))
+		}
+		var hits, accesses uint64
+		for round := 0; round < 50; round++ {
+			for i := addr.Virt(0); i < 24; i++ {
+				for _, m := range ms {
+					r, err := m.Translate(0x40000000+i*addr.Virt(addr.Order2M.PageSize()), false)
+					if err != nil {
+						t.Fatal(err)
+					}
+					accesses++
+					if r.L1Hit {
+						hits++
+					}
+				}
+			}
+		}
+		return float64(hits) / float64(accesses)
+	}
+	solo := run(1)
+	smt := run(2)
+	// 24 pages fit the 32-entry TPS TLB; 48 across two ASIDs do not.
+	if solo < 0.9 {
+		t.Errorf("solo hit rate=%.2f, want high", solo)
+	}
+	if smt >= solo {
+		t.Errorf("SMT hit rate %.2f not degraded vs solo %.2f", smt, solo)
+	}
+}
+
+func TestUntagRoundTrip(t *testing.T) {
+	m := &MMU{asid: 0x2f}
+	vpn := addr.VPN(0x123456789)
+	tagged := m.tagVPN(vpn)
+	if tagged == vpn {
+		t.Fatal("tag did not change VPN")
+	}
+	if untagVPN(tagged) != vpn {
+		t.Fatalf("untag(tag(x)) != x: %#x", uint64(untagVPN(tagged)))
+	}
+	if m.ASID() != 0x2f {
+		t.Errorf("ASID()=%d", m.ASID())
+	}
+}

@@ -1,0 +1,105 @@
+package mmu
+
+import "tps/internal/addr"
+
+// PWCache is one paging-structure (MMU) cache: a small fully associative
+// cache of non-leaf page-table entries for a single tree level, keyed by
+// the virtual-address prefix above that level's index (§II-A "MMU Cache").
+// A hit lets the walker skip reading every level at or above the cached
+// one, resuming directly below it.
+type PWCache struct {
+	level   int
+	entries []pwcWay
+	tick    uint64
+	hits    uint64
+	misses  uint64
+}
+
+type pwcWay struct {
+	key   uint64
+	valid bool
+	lru   uint64
+}
+
+// NewPWCache creates a paging-structure cache for the given non-leaf level
+// (1 = PDE, 2 = PDPTE, 3 = PML4E, 4 = PML5E) with the given entry count.
+func NewPWCache(level, entries int) *PWCache {
+	return &PWCache{level: level, entries: make([]pwcWay, entries)}
+}
+
+// key extracts the VA prefix identifying one entry at this cache's level:
+// all translated bits above the level's table index... i.e. the VPN bits
+// from the level's shift upward.
+func (c *PWCache) key(v addr.Virt) uint64 {
+	return uint64(v) >> (addr.BasePageShift + uint(c.level)*addr.LevelBits)
+}
+
+// Lookup reports whether the non-leaf entry covering v at this level is
+// cached.
+func (c *PWCache) Lookup(v addr.Virt) bool {
+	k := c.key(v)
+	for i := range c.entries {
+		if c.entries[i].valid && c.entries[i].key == k {
+			c.tick++
+			c.entries[i].lru = c.tick
+			c.hits++
+			return true
+		}
+	}
+	c.misses++
+	return false
+}
+
+// Insert caches the non-leaf entry covering v at this level.
+func (c *PWCache) Insert(v addr.Virt) {
+	k := c.key(v)
+	c.tick++
+	var victim *pwcWay
+	for i := range c.entries {
+		w := &c.entries[i]
+		if w.valid && w.key == k {
+			w.lru = c.tick
+			return
+		}
+		if victim == nil || !w.valid || (victim.valid && w.lru < victim.lru) {
+			if victim == nil || victim.valid {
+				victim = w
+			}
+		}
+	}
+	victim.key = k
+	victim.valid = true
+	victim.lru = c.tick
+}
+
+// InvalidateRange drops cached entries whose subtree overlaps [start, end)
+// (in base VPNs). Used on unmap/shootdown.
+func (c *PWCache) InvalidateRange(start, end addr.VPN) {
+	span := addr.VPN(1) << (uint(c.level) * addr.LevelBits)
+	for i := range c.entries {
+		w := &c.entries[i]
+		if !w.valid {
+			continue
+		}
+		eStart := addr.VPN(w.key) << (uint(c.level) * addr.LevelBits)
+		eEnd := eStart + span
+		if eStart < end && start < eEnd {
+			w.valid = false
+		}
+	}
+}
+
+// Flush empties the cache.
+func (c *PWCache) Flush() {
+	for i := range c.entries {
+		c.entries[i].valid = false
+	}
+}
+
+// HitRate returns the cache's hit rate.
+func (c *PWCache) HitRate() float64 {
+	if c.hits+c.misses == 0 {
+		return 0
+	}
+	return float64(c.hits) / float64(c.hits+c.misses)
+}

@@ -1,0 +1,126 @@
+package pagetable
+
+import (
+	"fmt"
+
+	"tps/internal/addr"
+)
+
+// Fine-grained Accessed/Dirty tracking for tailored pages (§III-C1).
+//
+// A tailored page's alias PTEs carry mostly unused bits; the paper
+// proposes collecting them into a bit vector recording the
+// referenced/modified state of the page's constituent conventional pages,
+// capped at 16 bits to bound TLB area and update traffic ("a 16 bit limit
+// would significantly reduce costs while still allowing for fine-grained
+// tracking"). Each bit then covers pageSize/16 (or the constituent page,
+// if the page has fewer than 16 constituents). The bits are sticky like
+// the architectural A/D bits: the first read/write in a tracked slice
+// stores the in-memory bit; later ones hit the cached copy.
+//
+// This model stores the vectors beside the table (in hardware they live in
+// the alias PTEs' spare bits; the placement does not change the observable
+// update traffic, which is what the statistics count).
+
+// ADVectorBits is the §III-C1 bound on vector length.
+const ADVectorBits = 16
+
+// adVec is one tailored page's fine-grained state.
+type adVec struct {
+	accessed uint16
+	dirty    uint16
+	chunk    addr.Order // sub-page size each bit covers
+}
+
+// EnableFineGrainAD turns on bit-vector maintenance for subsequently
+// mapped tailored pages (the PTE bit that "can specify whether to enable
+// or disable this fine-grained metadata tracking").
+func (t *Table) EnableFineGrainAD() { t.fineAD = true }
+
+// adChunkOrder returns the sub-page order one vector bit covers for a
+// tailored page of the given order.
+func adChunkOrder(order addr.Order) addr.Order {
+	chunk := order - 4 // 16 bits => order-4 sub-pages
+	if chunk < 0 {
+		chunk = 0
+	}
+	return chunk
+}
+
+// adBit returns the vector bit index covering vpn within a page starting
+// at base.
+func adBit(base, vpn addr.VPN, chunk addr.Order) uint {
+	return uint(uint64(vpn-base) >> uint(chunk))
+}
+
+// trackAD initializes the vector for a newly mapped tailored page.
+func (t *Table) trackAD(base addr.VPN, order addr.Order) {
+	if !t.fineAD || order < 1 {
+		return
+	}
+	if t.adVectors == nil {
+		t.adVectors = make(map[addr.VPN]*adVec)
+	}
+	t.adVectors[base] = &adVec{chunk: adChunkOrder(order)}
+}
+
+// untrackAD drops the vector when the page is unmapped.
+func (t *Table) untrackAD(base addr.VPN) {
+	delete(t.adVectors, base)
+}
+
+// updateADVector sets the accessed (and, for writes, dirty) bit covering
+// vpn. It returns true if an in-memory bit store was needed — the vector
+// updates "use the same mechanism already used by the existing modify bit
+// update operation and do not block forward progress".
+func (t *Table) updateADVector(base, vpn addr.VPN, write bool) bool {
+	v, ok := t.adVectors[base]
+	if !ok {
+		return false
+	}
+	bit := uint16(1) << adBit(base, vpn, v.chunk)
+	updated := false
+	if v.accessed&bit == 0 {
+		v.accessed |= bit
+		updated = true
+	}
+	if write && v.dirty&bit == 0 {
+		v.dirty |= bit
+		updated = true
+	}
+	if updated {
+		t.stats.ADVectorUpdates++
+	}
+	return updated
+}
+
+// ADVector returns the fine-grained accessed/dirty vectors of the tailored
+// page covering v, plus the sub-page order each bit covers. The OS reads
+// this to write back or swap only the modified slices of a large page.
+func (t *Table) ADVector(v addr.Virt) (accessed, dirty uint16, chunk addr.Order, err error) {
+	res, err := t.lookup(v)
+	if err != nil {
+		return 0, 0, 0, err
+	}
+	vec, ok := t.adVectors[res.VPN]
+	if !ok {
+		return 0, 0, 0, fmt.Errorf("pagetable: no fine-grained A/D state for %#x", uint64(v))
+	}
+	return vec.accessed, vec.dirty, vec.chunk, nil
+}
+
+// ClearADVector resets the vectors (the OS harvests referenced bits
+// periodically, as with the architectural A bit).
+func (t *Table) ClearADVector(v addr.Virt) error {
+	res, err := t.lookup(v)
+	if err != nil {
+		return err
+	}
+	vec, ok := t.adVectors[res.VPN]
+	if !ok {
+		return fmt.Errorf("pagetable: no fine-grained A/D state for %#x", uint64(v))
+	}
+	vec.accessed, vec.dirty = 0, 0
+	t.stats.PTEWrites++
+	return nil
+}

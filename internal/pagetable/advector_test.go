@@ -1,0 +1,155 @@
+package pagetable
+
+import (
+	"testing"
+
+	"tps/internal/addr"
+	"tps/internal/pte"
+)
+
+func newFineAD(t *testing.T) *Table {
+	t.Helper()
+	pt := New(addr.Levels4, ExtraLookup)
+	pt.EnableFineGrainAD()
+	return pt
+}
+
+func TestADChunkOrder(t *testing.T) {
+	cases := map[addr.Order]addr.Order{
+		1:  0, // 8K page: 2 constituents, bit per 4K
+		4:  0, // 64K page: exactly 16 constituents
+		5:  1, // 128K page: bit per 8K
+		9:  5, // 2M page: bit per 128K
+		18: 14,
+	}
+	for order, want := range cases {
+		if got := adChunkOrder(order); got != want {
+			t.Errorf("order %d: chunk=%d, want %d", order, got, want)
+		}
+	}
+}
+
+func TestVectorTracksSubPages(t *testing.T) {
+	pt := newFineAD(t)
+	v := addr.Virt(0x10000000)
+	if err := pt.Map(v, 0x800, 4, pte.FlagWrite); err != nil { // 64K: 16 bits, 1 per page
+		t.Fatal(err)
+	}
+	// Read page 3, write page 7.
+	if _, err := pt.SetAccessedDirty(v+3*addr.BasePageSize, false); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := pt.SetAccessedDirty(v+7*addr.BasePageSize, true); err != nil {
+		t.Fatal(err)
+	}
+	acc, dirty, chunk, err := pt.ADVector(v)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if chunk != 0 {
+		t.Errorf("chunk=%d", chunk)
+	}
+	if acc != (1<<3)|(1<<7) {
+		t.Errorf("accessed=%016b", acc)
+	}
+	if dirty != 1<<7 {
+		t.Errorf("dirty=%016b", dirty)
+	}
+}
+
+func TestVectorSticky(t *testing.T) {
+	pt := newFineAD(t)
+	v := addr.Virt(0x10000000)
+	pt.Map(v, 0x800, 4, pte.FlagWrite)
+	upd, _ := pt.SetAccessedDirty(v, true)
+	if !upd {
+		t.Fatal("first touch must store")
+	}
+	u0 := pt.Stats().ADVectorUpdates
+	upd, _ = pt.SetAccessedDirty(v, true)
+	if upd {
+		t.Error("second identical touch stored again")
+	}
+	if pt.Stats().ADVectorUpdates != u0 {
+		t.Error("vector updated redundantly")
+	}
+	// A *different* sub-page still needs a store even though the
+	// page-level A/D bits are already set.
+	upd, _ = pt.SetAccessedDirty(v+5*addr.BasePageSize, true)
+	if !upd {
+		t.Error("new sub-page touch did not store")
+	}
+}
+
+func TestVectorGranularityOnLargePages(t *testing.T) {
+	pt := newFineAD(t)
+	v := addr.Virt(0x40000000)
+	if err := pt.Map(v, 1<<18, 10, pte.FlagWrite); err != nil { // 4M page
+		t.Fatal(err)
+	}
+	// chunk order 6 = 256K per bit.
+	if _, _, chunk, _ := pt.ADVector(v); chunk != 6 {
+		t.Fatalf("chunk=%d, want 6", chunk)
+	}
+	// Touching two pages in the same 256K slice stores once.
+	pt.SetAccessedDirty(v, false)
+	u0 := pt.Stats().ADVectorUpdates
+	pt.SetAccessedDirty(v+17*addr.BasePageSize, false) // same 64-page slice
+	if pt.Stats().ADVectorUpdates != u0 {
+		t.Error("same-slice touch stored again")
+	}
+	pt.SetAccessedDirty(v+64*addr.BasePageSize, false) // next slice
+	if pt.Stats().ADVectorUpdates != u0+1 {
+		t.Error("next-slice touch did not store")
+	}
+	acc, _, _, _ := pt.ADVector(v)
+	if acc != 0b11 {
+		t.Errorf("accessed=%016b", acc)
+	}
+}
+
+func TestClearADVector(t *testing.T) {
+	pt := newFineAD(t)
+	v := addr.Virt(0x10000000)
+	pt.Map(v, 0x800, 3, pte.FlagWrite)
+	pt.SetAccessedDirty(v, true)
+	if err := pt.ClearADVector(v); err != nil {
+		t.Fatal(err)
+	}
+	acc, dirty, _, _ := pt.ADVector(v)
+	if acc != 0 || dirty != 0 {
+		t.Errorf("vector not cleared: %b %b", acc, dirty)
+	}
+}
+
+func TestVectorDroppedOnUnmap(t *testing.T) {
+	pt := newFineAD(t)
+	v := addr.Virt(0x10000000)
+	pt.Map(v, 0x800, 3, pte.FlagWrite)
+	pt.SetAccessedDirty(v, true)
+	pt.Unmap(v)
+	if _, _, _, err := pt.ADVector(v); err == nil {
+		t.Error("vector survived unmap")
+	}
+}
+
+func TestNoVectorWhenDisabled(t *testing.T) {
+	pt := New(addr.Levels4, ExtraLookup) // fine-grain off
+	v := addr.Virt(0x10000000)
+	pt.Map(v, 0x800, 3, pte.FlagWrite)
+	pt.SetAccessedDirty(v, true)
+	if _, _, _, err := pt.ADVector(v); err == nil {
+		t.Error("vector exists despite tracking disabled")
+	}
+	if pt.Stats().ADVectorUpdates != 0 {
+		t.Error("vector updates counted while disabled")
+	}
+}
+
+func TestNoVectorForConventional4K(t *testing.T) {
+	pt := newFineAD(t)
+	pt.Map(0x1000, 1, 0, pte.FlagWrite)
+	if _, _, _, err := pt.ADVector(0x1000); err == nil {
+		t.Error("4K page has a vector")
+	}
+}

@@ -1,0 +1,232 @@
+// Package pte implements the Tailored Page Sizes page-table-entry format.
+//
+// The paper (§III-A1, Fig. 5) extends the x86-64 PTE with a single reserved
+// bit, T. When T is clear the entry is a conventional PTE. When T is set the
+// entry maps a tailored page whose size is encoded NAPOT-style in the low
+// bits of the page-frame-number field: because an order-k page has k unused
+// low PFN bits, a run of k-1 ones terminated by a zero encodes order k
+// without consuming any additional reserved bits (similar to RISC-V PMP
+// NAPOT encodings). Hardware decodes the run with a priority encoder.
+//
+// Tailored pages larger than the 9-bit page-table fan-out span multiple leaf
+// slots. One slot holds the "true" PTE; the remaining slots hold "alias"
+// PTEs that only record the page size, telling the walker to issue one more
+// memory access at the page-aligned virtual address to fetch the true PTE
+// (Fig. 6). The alternative full-copy strategy replicates the true PTE into
+// every alias slot, trading PTE-update cost for walk accesses; both are
+// supported here (see pagetable.AliasStrategy).
+package pte
+
+import (
+	"fmt"
+	"math/bits"
+
+	"tps/internal/addr"
+)
+
+// Flag bits, following the x86-64 layout where one exists.
+const (
+	FlagPresent  uint64 = 1 << 0 // P: mapping is valid
+	FlagWrite    uint64 = 1 << 1 // R/W: writable
+	FlagUser     uint64 = 1 << 2 // U/S: user accessible
+	FlagAccessed uint64 = 1 << 5 // A: set on first read or write
+	FlagDirty    uint64 = 1 << 6 // D: set on first write
+	// FlagPS is the conventional page-size bit: in a level-1 (PD) entry it
+	// marks a 2 MB page, in a level-2 (PDPT) entry a 1 GB page.
+	FlagPS uint64 = 1 << 7
+	// FlagTailored is the paper's T bit, taken from an ignored/reserved
+	// position (bit 9 is software-available in x86-64).
+	FlagTailored uint64 = 1 << 9
+	// FlagAlias marks an alias PTE. The paper distinguishes alias PTEs
+	// from true PTEs by context; we carve a second software bit (bit 10)
+	// to make the distinction explicit and testable.
+	FlagAlias uint64 = 1 << 10
+	// FlagNX is the no-execute bit.
+	FlagNX uint64 = 1 << 63
+)
+
+// pfnShift is the bit position where the PFN field starts.
+const pfnShift = addr.BasePageShift
+
+// pfnMask covers the PFN field (bits 12..PhysBits-1).
+const pfnMask = (uint64(1)<<addr.PhysBits - 1) &^ (uint64(1)<<pfnShift - 1)
+
+// Entry is a single 64-bit page-table entry.
+type Entry uint64
+
+// Zero is the canonical not-present entry.
+const Zero Entry = 0
+
+// Present reports whether the entry maps something.
+func (e Entry) Present() bool { return uint64(e)&FlagPresent != 0 }
+
+// Writable reports the R/W permission bit.
+func (e Entry) Writable() bool { return uint64(e)&FlagWrite != 0 }
+
+// User reports the U/S permission bit.
+func (e Entry) User() bool { return uint64(e)&FlagUser != 0 }
+
+// Accessed reports the A bit.
+func (e Entry) Accessed() bool { return uint64(e)&FlagAccessed != 0 }
+
+// Dirty reports the D bit.
+func (e Entry) Dirty() bool { return uint64(e)&FlagDirty != 0 }
+
+// Huge reports the conventional PS (page size) bit.
+func (e Entry) Huge() bool { return uint64(e)&FlagPS != 0 }
+
+// Tailored reports the paper's T bit.
+func (e Entry) Tailored() bool { return uint64(e)&FlagTailored != 0 }
+
+// Alias reports whether this is an alias PTE for a tailored page.
+func (e Entry) Alias() bool { return uint64(e)&FlagAlias != 0 }
+
+// NoExec reports the NX bit.
+func (e Entry) NoExec() bool { return uint64(e)&FlagNX != 0 }
+
+// SetAccessed returns the entry with the A bit set.
+func (e Entry) SetAccessed() Entry { return e | Entry(FlagAccessed) }
+
+// SetDirty returns the entry with the D bit set.
+func (e Entry) SetDirty() Entry { return e | Entry(FlagDirty) }
+
+// ClearAD returns the entry with A and D bits cleared (as the OS does when
+// harvesting reference information).
+func (e Entry) ClearAD() Entry { return e &^ Entry(FlagAccessed|FlagDirty) }
+
+// MakeConventional builds a present leaf entry for a conventional page of
+// the given order (0 => 4 KB, addr.Order2M => 2 MB, addr.Order1G => 1 GB).
+// The PS bit is set for the huge orders, matching x86-64.
+func MakeConventional(pfn addr.PFN, order addr.Order, flags uint64) Entry {
+	raw := flags | FlagPresent | uint64(pfn.Addr())&pfnMask
+	if order != 0 {
+		raw |= FlagPS
+	}
+	return Entry(raw)
+}
+
+// MakeTailored builds the true PTE for a tailored page of the given order
+// (order >= 1; a tailored order-0 page is just a conventional 4 KB page).
+// The frame number must be order-aligned so that its low `order` PFN bits
+// are free to carry the NAPOT size code: a run of order-1 ones terminated
+// by a zero at bit position order-1... i.e. bits [0,order-2] of the PFN are
+// ones and bit order-1 is zero. Decoding counts the trailing ones.
+//
+// A subtlety fixed by the terminating zero: without it, order k and order
+// k+1 frames differing only in alignment would collide. The terminating
+// zero is guaranteed free because an order-k frame has k zero low PFN bits
+// and only k-1 are used for ones.
+func MakeTailored(pfn addr.PFN, order addr.Order, flags uint64) (Entry, error) {
+	if order < 1 || order > addr.MaxOrder {
+		return Zero, fmt.Errorf("pte: tailored order %d out of range [1,%d]", order, addr.MaxOrder)
+	}
+	if !pfn.Aligned(order) {
+		return Zero, fmt.Errorf("pte: frame %#x not aligned to order %d", pfn, order)
+	}
+	size := uint64(1)<<(uint(order)-1) - 1 // order-1 trailing ones
+	raw := flags | FlagPresent | FlagTailored | uint64(pfn.Addr())&pfnMask | size<<pfnShift
+	return Entry(raw), nil
+}
+
+// MakeAlias builds an alias PTE for a tailored page of the given order.
+// Alias PTEs carry the size code (so the walker can compute the true PTE's
+// location) plus the Alias marker; they carry no frame number.
+func MakeAlias(order addr.Order, flags uint64) (Entry, error) {
+	if order < 1 || order > addr.MaxOrder {
+		return Zero, fmt.Errorf("pte: alias order %d out of range [1,%d]", order, addr.MaxOrder)
+	}
+	size := uint64(1)<<(uint(order)-1) - 1
+	raw := flags | FlagPresent | FlagTailored | FlagAlias | size<<pfnShift
+	return Entry(raw), nil
+}
+
+// Order decodes the page order of a present leaf entry. For conventional
+// entries the caller supplies the walk level (level 0 PTE => order 0,
+// level 1 PDE with PS => 2 MB, level 2 PDPTE with PS => 1 GB). For tailored
+// entries the NAPOT run length in the low PFN bits gives the order; this is
+// the software model of the paper's priority encoder.
+func (e Entry) Order(level int) addr.Order {
+	if !e.Present() {
+		return 0
+	}
+	if e.Tailored() {
+		run := bits.TrailingZeros64(^(uint64(e) >> pfnShift))
+		return addr.Order(run + 1)
+	}
+	if e.Huge() {
+		return addr.Order(level * addr.LevelBits) // 9 => 2M, 18 => 1G
+	}
+	return 0
+}
+
+// PFN extracts the page frame number of a true (non-alias) leaf entry,
+// masking off any NAPOT size bits for tailored entries.
+func (e Entry) PFN(level int) addr.PFN {
+	raw := (uint64(e) & pfnMask) >> pfnShift
+	if e.Tailored() {
+		o := e.Order(level)
+		raw &^= uint64(o.Pages()) - 1
+	} else if e.Huge() {
+		o := e.Order(level)
+		raw &^= uint64(o.Pages()) - 1
+	}
+	return addr.PFN(raw)
+}
+
+// WithPFN returns the entry with its frame number replaced, preserving the
+// NAPOT size code of tailored entries. The new frame must be aligned to the
+// entry's order.
+func (e Entry) WithPFN(pfn addr.PFN, level int) (Entry, error) {
+	o := e.Order(level)
+	if !pfn.Aligned(o) {
+		return Zero, fmt.Errorf("pte: frame %#x not aligned to order %d", pfn, o)
+	}
+	raw := uint64(e) &^ pfnMask
+	raw |= uint64(pfn.Addr()) & pfnMask
+	if e.Tailored() && o >= 1 {
+		raw |= (uint64(1)<<(uint(o)-1) - 1) << pfnShift
+	}
+	return Entry(raw), nil
+}
+
+// Translate produces the physical address for virtual address v through
+// this true leaf entry found at the given walk level.
+func (e Entry) Translate(v addr.Virt, level int) addr.Phys {
+	o := e.Order(level)
+	return e.PFN(level).Addr() + addr.Phys(v.Offset(o))
+}
+
+// PermissionsMatch reports whether two entries agree on their permission
+// and type bits (everything except PFN, size code, A/D). The OS page-merge
+// check (§III-B3) requires identical permissions on merge candidates.
+func PermissionsMatch(a, b Entry) bool {
+	const permMask = FlagWrite | FlagUser | FlagNX
+	return uint64(a)&permMask == uint64(b)&permMask
+}
+
+// String renders the entry for debugging.
+func (e Entry) String() string {
+	if !e.Present() {
+		return "PTE{not present}"
+	}
+	kind := "4K"
+	switch {
+	case e.Alias():
+		kind = fmt.Sprintf("alias(%s)", e.Order(0))
+	case e.Tailored():
+		kind = fmt.Sprintf("tailored(%s)", e.Order(0))
+	case e.Huge():
+		kind = "huge"
+	}
+	flags := ""
+	if e.Writable() {
+		flags += "W"
+	}
+	if e.Accessed() {
+		flags += "A"
+	}
+	if e.Dirty() {
+		flags += "D"
+	}
+	return fmt.Sprintf("PTE{%s pfn=%#x %s}", kind, uint64(e.PFN(0)), flags)
+}

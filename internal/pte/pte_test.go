@@ -1,0 +1,243 @@
+package pte
+
+import (
+	"testing"
+	"testing/quick"
+
+	"tps/internal/addr"
+)
+
+func TestConventional4K(t *testing.T) {
+	e := MakeConventional(0x1234, 0, FlagWrite|FlagUser)
+	if !e.Present() || e.Huge() || e.Tailored() || e.Alias() {
+		t.Fatalf("bad flags: %v", e)
+	}
+	if e.Order(0) != 0 {
+		t.Errorf("order=%d, want 0", e.Order(0))
+	}
+	if e.PFN(0) != 0x1234 {
+		t.Errorf("pfn=%#x, want 0x1234", e.PFN(0))
+	}
+	if !e.Writable() || !e.User() {
+		t.Error("permission bits lost")
+	}
+}
+
+func TestConventionalHuge(t *testing.T) {
+	// 2 MB page found at walk level 1.
+	e := MakeConventional(0x200, addr.Order2M, 0)
+	if !e.Huge() {
+		t.Fatal("PS bit not set for 2M page")
+	}
+	if got := e.Order(1); got != addr.Order2M {
+		t.Errorf("order=%d, want %d", got, addr.Order2M)
+	}
+	if e.PFN(1) != 0x200 {
+		t.Errorf("pfn=%#x", e.PFN(1))
+	}
+	// 1 GB page found at walk level 2.
+	g := MakeConventional(1<<18, addr.Order1G, 0)
+	if got := g.Order(2); got != addr.Order1G {
+		t.Errorf("1G order=%d, want %d", got, addr.Order1G)
+	}
+}
+
+func TestTailoredEncodeDecodeAllOrders(t *testing.T) {
+	for o := addr.Order(1); o <= addr.MaxOrder; o++ {
+		pfn := addr.PFN(uint64(1) << 20).AlignDown(o) // aligned frame
+		e, err := MakeTailored(pfn, o, FlagWrite)
+		if err != nil {
+			t.Fatalf("order %d: %v", o, err)
+		}
+		if !e.Tailored() || e.Alias() {
+			t.Fatalf("order %d: flags wrong: %v", o, e)
+		}
+		if got := e.Order(0); got != o {
+			t.Errorf("order %d: decoded %d", o, got)
+		}
+		if got := e.PFN(0); got != pfn {
+			t.Errorf("order %d: pfn=%#x, want %#x", o, got, pfn)
+		}
+	}
+}
+
+func TestTailoredRejectsBadArgs(t *testing.T) {
+	if _, err := MakeTailored(0, 0, 0); err == nil {
+		t.Error("order 0 tailored should be rejected")
+	}
+	if _, err := MakeTailored(0, addr.MaxOrder+1, 0); err == nil {
+		t.Error("order beyond max should be rejected")
+	}
+	if _, err := MakeTailored(1, 1, 0); err == nil {
+		t.Error("misaligned frame should be rejected")
+	}
+	if _, err := MakeTailored(0x7, 3, 0); err == nil {
+		t.Error("misaligned frame should be rejected")
+	}
+}
+
+func TestAliasEncodeDecode(t *testing.T) {
+	for o := addr.Order(1); o <= addr.MaxOrder; o++ {
+		e, err := MakeAlias(o, 0)
+		if err != nil {
+			t.Fatalf("order %d: %v", o, err)
+		}
+		if !e.Alias() || !e.Tailored() || !e.Present() {
+			t.Fatalf("order %d: flags wrong: %v", o, e)
+		}
+		if got := e.Order(0); got != o {
+			t.Errorf("alias order %d decoded as %d", o, got)
+		}
+	}
+	if _, err := MakeAlias(0, 0); err == nil {
+		t.Error("alias order 0 should be rejected")
+	}
+}
+
+func TestTranslate(t *testing.T) {
+	// 32 KB tailored page (order 3) at frame 0x1000 (base-page units).
+	e, err := MakeTailored(0x1000, 3, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	v := addr.Virt(0xabcd_e123) // offset within 32K page = low 15 bits
+	got := e.Translate(v, 0)
+	want := addr.PFN(0x1000).Addr() + addr.Phys(uint64(v)&(32<<10-1))
+	if got != want {
+		t.Errorf("Translate=%#x, want %#x", got, want)
+	}
+}
+
+func TestTranslateConventional(t *testing.T) {
+	e := MakeConventional(0x55, 0, 0)
+	v := addr.Virt(0x7fff_1234)
+	if got := e.Translate(v, 0); got != addr.PFN(0x55).Addr()+0x234 {
+		t.Errorf("Translate=%#x", got)
+	}
+}
+
+func TestADBits(t *testing.T) {
+	e := MakeConventional(1, 0, 0)
+	if e.Accessed() || e.Dirty() {
+		t.Fatal("fresh entry must have clear A/D")
+	}
+	e2 := e.SetAccessed().SetDirty()
+	if !e2.Accessed() || !e2.Dirty() {
+		t.Fatal("A/D bits did not set")
+	}
+	if e2.PFN(0) != e.PFN(0) {
+		t.Fatal("A/D update corrupted PFN")
+	}
+	e3 := e2.ClearAD()
+	if e3.Accessed() || e3.Dirty() {
+		t.Fatal("ClearAD did not clear")
+	}
+}
+
+func TestWithPFN(t *testing.T) {
+	e, _ := MakeTailored(0x100, 4, FlagWrite)
+	moved, err := e.WithPFN(0x200, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if moved.Order(0) != 4 {
+		t.Errorf("order lost: %d", moved.Order(0))
+	}
+	if moved.PFN(0) != 0x200 {
+		t.Errorf("pfn=%#x", moved.PFN(0))
+	}
+	if !moved.Writable() {
+		t.Error("flags lost")
+	}
+	if _, err := e.WithPFN(0x201, 0); err == nil {
+		t.Error("misaligned WithPFN should fail")
+	}
+}
+
+func TestPermissionsMatch(t *testing.T) {
+	a := MakeConventional(1, 0, FlagWrite)
+	b := MakeConventional(2, 0, FlagWrite)
+	c := MakeConventional(3, 0, 0)
+	if !PermissionsMatch(a, b) {
+		t.Error("same perms should match")
+	}
+	if PermissionsMatch(a, c) {
+		t.Error("different perms should not match")
+	}
+	d := Entry(uint64(a) | FlagNX)
+	if PermissionsMatch(a, d) {
+		t.Error("NX difference should not match")
+	}
+}
+
+func TestNotPresent(t *testing.T) {
+	if Zero.Present() {
+		t.Error("zero entry present")
+	}
+	if Zero.Order(0) != 0 {
+		t.Error("zero entry order nonzero")
+	}
+	if Zero.String() != "PTE{not present}" {
+		t.Errorf("String=%q", Zero.String())
+	}
+}
+
+// Property: encode/decode round-trips for random aligned frames and orders,
+// and the NX bit never perturbs size decoding.
+func TestTailoredRoundTripProperty(t *testing.T) {
+	f := func(rawPFN uint32, orderSeed uint8, nx bool) bool {
+		o := addr.Order(orderSeed)%addr.MaxOrder + 1
+		pfn := addr.PFN(rawPFN).AlignDown(o)
+		flags := uint64(0)
+		if nx {
+			flags = FlagNX
+		}
+		e, err := MakeTailored(pfn, o, flags)
+		if err != nil {
+			return false
+		}
+		return e.Order(0) == o && e.PFN(0) == pfn && e.NoExec() == nx
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 5000}); err != nil {
+		t.Error(err)
+	}
+}
+
+// Property: distinct (pfn, order) pairs produce distinct encodings.
+func TestTailoredEncodingInjective(t *testing.T) {
+	seen := map[Entry][2]uint64{}
+	for o := addr.Order(1); o <= 10; o++ {
+		for i := uint64(0); i < 64; i++ {
+			pfn := addr.PFN(i << 10).AlignDown(o)
+			e, err := MakeTailored(pfn, o, 0)
+			if err != nil {
+				t.Fatal(err)
+			}
+			key := [2]uint64{uint64(pfn), uint64(o)}
+			if prev, ok := seen[e]; ok && prev != key {
+				t.Fatalf("collision: %v encodes both %v and %v", e, prev, key)
+			}
+			seen[e] = key
+		}
+	}
+}
+
+func TestStringForms(t *testing.T) {
+	e, _ := MakeTailored(0x40, 3, FlagWrite)
+	if got := e.String(); got == "" || got == "PTE{not present}" {
+		t.Errorf("String=%q", got)
+	}
+	a, _ := MakeAlias(5, 0)
+	if got := a.String(); got == "" {
+		t.Error("alias String empty")
+	}
+}
+
+func BenchmarkOrderDecode(b *testing.B) {
+	e, _ := MakeTailored(1<<18, 7, 0)
+	for i := 0; i < b.N; i++ {
+		if e.Order(0) != 7 {
+			b.Fatal("bad decode")
+		}
+	}
+}

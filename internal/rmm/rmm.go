@@ -1,0 +1,215 @@
+// Package rmm implements the Redundant Memory Mappings baseline
+// (Karakostas et al. [34], the paper's closest related work, §V).
+//
+// RMM maintains a Range Table alongside the standard page table: each range
+// maps an arbitrary-length contiguous virtual region to contiguous physical
+// memory, with no size or alignment restrictions. In hardware, a Range TLB
+// at the L2 level caches range-table entries; it is looked up in parallel
+// with the L2 TLB on an L1 miss. A Range TLB hit constructs the 4 KB PTE
+// for the missing page and installs it in the L1 TLB — so RMM eliminates
+// page walks but no L1 TLB misses (paper Fig. 10/11).
+//
+// The RangeTLB type implements mmu.Sidecar; the RangeTable implements
+// vmm.Ranger, driven by the PolicyRMMEager kernel policy (RMM uses eager
+// paging).
+package rmm
+
+import (
+	"sort"
+
+	"tps/internal/addr"
+	"tps/internal/tlb"
+)
+
+// Range is one range-table entry: [VPN, VPN+Pages) maps to [PFN, ...).
+type Range struct {
+	VPN   addr.VPN
+	Pages uint64
+	PFN   addr.PFN
+	Flags uint64
+}
+
+// covers reports whether the range translates vpn.
+func (r Range) covers(vpn addr.VPN) bool {
+	return vpn >= r.VPN && vpn < r.VPN+addr.VPN(r.Pages)
+}
+
+// RangeTable is the OS-maintained range tree. Adjacent compatible ranges
+// are merged on insert, mirroring RMM's range coalescing.
+type RangeTable struct {
+	ranges []Range // sorted by VPN
+}
+
+// NewRangeTable creates an empty range table.
+func NewRangeTable() *RangeTable { return &RangeTable{} }
+
+// Len returns the number of ranges.
+func (t *RangeTable) Len() int { return len(t.ranges) }
+
+// AddRange implements vmm.Ranger.
+func (t *RangeTable) AddRange(vpn addr.VPN, pages uint64, pfn addr.PFN, flags uint64) {
+	i := sort.Search(len(t.ranges), func(i int) bool { return t.ranges[i].VPN >= vpn })
+	nr := Range{VPN: vpn, Pages: pages, PFN: pfn, Flags: flags}
+	// Merge with the predecessor when virtually and physically adjacent.
+	if i > 0 {
+		p := t.ranges[i-1]
+		if p.VPN+addr.VPN(p.Pages) == vpn && p.PFN+addr.PFN(p.Pages) == pfn && p.Flags == flags {
+			t.ranges[i-1].Pages += pages
+			t.mergeForward(i - 1)
+			return
+		}
+	}
+	t.ranges = append(t.ranges, Range{})
+	copy(t.ranges[i+1:], t.ranges[i:])
+	t.ranges[i] = nr
+	t.mergeForward(i)
+}
+
+// mergeForward merges ranges[i] with its successor while compatible.
+func (t *RangeTable) mergeForward(i int) {
+	for i+1 < len(t.ranges) {
+		a, b := t.ranges[i], t.ranges[i+1]
+		if a.VPN+addr.VPN(a.Pages) == b.VPN && a.PFN+addr.PFN(a.Pages) == b.PFN && a.Flags == b.Flags {
+			t.ranges[i].Pages += b.Pages
+			t.ranges = append(t.ranges[:i+1], t.ranges[i+2:]...)
+			continue
+		}
+		return
+	}
+}
+
+// RemoveRange implements vmm.Ranger: it drops or trims any range material
+// overlapping the range that starts at vpn. Because merged ranges may
+// span multiple original insertions, removal splits as needed; the eager
+// kernel removes block by block, so trimming suffices.
+func (t *RangeTable) RemoveRange(vpn addr.VPN) {
+	i := sort.Search(len(t.ranges), func(i int) bool {
+		return t.ranges[i].VPN+addr.VPN(t.ranges[i].Pages) > vpn
+	})
+	if i == len(t.ranges) || !t.ranges[i].covers(vpn) {
+		return
+	}
+	r := t.ranges[i]
+	head := uint64(vpn - r.VPN)
+	if head == 0 {
+		t.ranges = append(t.ranges[:i], t.ranges[i+1:]...)
+		return
+	}
+	// Keep the head; drop from vpn to the end of the range (the kernel
+	// unmaps whole blocks, which are suffix-aligned within merged runs).
+	t.ranges[i].Pages = head
+}
+
+// Lookup finds the range covering vpn.
+func (t *RangeTable) Lookup(vpn addr.VPN) (Range, bool) {
+	i := sort.Search(len(t.ranges), func(i int) bool {
+		return t.ranges[i].VPN+addr.VPN(t.ranges[i].Pages) > vpn
+	})
+	if i == len(t.ranges) || !t.ranges[i].covers(vpn) {
+		return Range{}, false
+	}
+	return t.ranges[i], true
+}
+
+// Stats counts Range TLB traffic.
+type Stats struct {
+	Lookups    uint64
+	Hits       uint64 // Range TLB hits
+	TableFills uint64 // misses satisfied by a range-table fetch
+	TableRefs  uint64 // memory references spent fetching range entries
+	Misses     uint64 // no range covers the address
+}
+
+// RangeTLB is the hardware cache of range-table entries at the L2 TLB
+// level. It implements mmu.Sidecar.
+type RangeTLB struct {
+	table   *RangeTable
+	entries []rangeWay
+	tick    uint64
+	stats   Stats
+
+	// TableFetchRefs is the memory-reference cost charged when a miss is
+	// filled from the in-memory range table (the range walker). RMM's
+	// B-tree walk costs a few accesses; 2 is the paper's common case.
+	TableFetchRefs uint64
+}
+
+type rangeWay struct {
+	r     Range
+	valid bool
+	lru   uint64
+}
+
+// NewRangeTLB builds an n-entry Range TLB backed by the range table.
+func NewRangeTLB(table *RangeTable, n int) *RangeTLB {
+	return &RangeTLB{table: table, entries: make([]rangeWay, n), TableFetchRefs: 2}
+}
+
+// Name implements mmu.Sidecar.
+func (rt *RangeTLB) Name() string { return "range-tlb" }
+
+// Stats returns the traffic counters.
+func (rt *RangeTLB) Stats() Stats { return rt.stats }
+
+// Lookup implements mmu.Sidecar: on a Range TLB hit (or a successful
+// range-walker fetch), it constructs the 4 KB entry for the missing page.
+func (rt *RangeTLB) Lookup(vpn addr.VPN) (tlb.Entry, bool) {
+	rt.stats.Lookups++
+	for i := range rt.entries {
+		w := &rt.entries[i]
+		if w.valid && w.r.covers(vpn) {
+			rt.tick++
+			w.lru = rt.tick
+			rt.stats.Hits++
+			return entryFor(w.r, vpn), true
+		}
+	}
+	// Range walker: fetch from the in-memory range table.
+	r, ok := rt.table.Lookup(vpn)
+	if !ok {
+		rt.stats.Misses++
+		return tlb.Entry{}, false
+	}
+	rt.stats.TableFills++
+	rt.stats.TableRefs += rt.TableFetchRefs
+	rt.insert(r)
+	return entryFor(r, vpn), true
+}
+
+// entryFor constructs the per-page PTE an RMM range hit installs in L1.
+func entryFor(r Range, vpn addr.VPN) tlb.Entry {
+	return tlb.Entry{
+		VPN:   vpn,
+		PFN:   r.PFN + addr.PFN(vpn-r.VPN),
+		Order: 0,
+		Flags: r.Flags,
+	}
+}
+
+func (rt *RangeTLB) insert(r Range) {
+	rt.tick++
+	var victim *rangeWay
+	for i := range rt.entries {
+		w := &rt.entries[i]
+		if w.valid && w.r.VPN == r.VPN && w.r.Pages == r.Pages {
+			w.r = r
+			w.lru = rt.tick
+			return
+		}
+		if victim == nil || !w.valid || (victim.valid && w.lru < victim.lru) {
+			if victim == nil || victim.valid {
+				victim = w
+			}
+		}
+	}
+	victim.r = r
+	victim.valid = true
+	victim.lru = rt.tick
+}
+
+// Flush drops all cached ranges (used after range-table mutation).
+func (rt *RangeTLB) Flush() {
+	for i := range rt.entries {
+		rt.entries[i].valid = false
+	}
+}

@@ -1,0 +1,163 @@
+package rmm
+
+import (
+	"testing"
+
+	"tps/internal/addr"
+)
+
+func TestRangeTableAddLookup(t *testing.T) {
+	rt := NewRangeTable()
+	rt.AddRange(100, 50, 1000, 2)
+	rt.AddRange(300, 10, 2000, 2)
+	if rt.Len() != 2 {
+		t.Fatalf("len=%d", rt.Len())
+	}
+	r, ok := rt.Lookup(120)
+	if !ok || r.VPN != 100 || r.PFN != 1000 {
+		t.Errorf("lookup=%+v ok=%v", r, ok)
+	}
+	if _, ok := rt.Lookup(200); ok {
+		t.Error("gap lookup hit")
+	}
+	if _, ok := rt.Lookup(99); ok {
+		t.Error("before-range lookup hit")
+	}
+	r, ok = rt.Lookup(309)
+	if !ok || r.VPN != 300 {
+		t.Errorf("second range lookup=%+v", r)
+	}
+	if _, ok := rt.Lookup(310); ok {
+		t.Error("past-end lookup hit")
+	}
+}
+
+func TestRangeTableMergesAdjacent(t *testing.T) {
+	rt := NewRangeTable()
+	// Virtually and physically adjacent with same flags: merge.
+	rt.AddRange(100, 10, 1000, 0)
+	rt.AddRange(110, 10, 1010, 0)
+	if rt.Len() != 1 {
+		t.Fatalf("adjacent ranges did not merge: len=%d", rt.Len())
+	}
+	r, _ := rt.Lookup(119)
+	if r.Pages != 20 {
+		t.Errorf("merged pages=%d", r.Pages)
+	}
+	// Virtually adjacent but physically discontiguous: no merge.
+	rt.AddRange(120, 10, 5000, 0)
+	if rt.Len() != 2 {
+		t.Errorf("discontiguous ranges merged: len=%d", rt.Len())
+	}
+	// Different flags: no merge.
+	rt.AddRange(130, 10, 5010, 7)
+	if rt.Len() != 3 {
+		t.Errorf("flag-mismatched ranges merged: len=%d", rt.Len())
+	}
+}
+
+func TestRangeTableMergeBackward(t *testing.T) {
+	rt := NewRangeTable()
+	rt.AddRange(110, 10, 1010, 0)
+	rt.AddRange(100, 10, 1000, 0) // fills the hole before; merges forward
+	if rt.Len() != 1 {
+		t.Fatalf("len=%d", rt.Len())
+	}
+	r, _ := rt.Lookup(100)
+	if r.Pages != 20 || r.PFN != 1000 {
+		t.Errorf("r=%+v", r)
+	}
+}
+
+func TestRangeTableRemove(t *testing.T) {
+	rt := NewRangeTable()
+	rt.AddRange(100, 10, 1000, 0)
+	rt.RemoveRange(100)
+	if rt.Len() != 0 {
+		t.Errorf("len=%d after remove", rt.Len())
+	}
+	// Removing from a merged range trims the tail.
+	rt.AddRange(100, 10, 1000, 0)
+	rt.AddRange(110, 10, 1010, 0)
+	rt.RemoveRange(110)
+	r, ok := rt.Lookup(105)
+	if !ok || r.Pages != 10 {
+		t.Errorf("r=%+v ok=%v", r, ok)
+	}
+	if _, ok := rt.Lookup(110); ok {
+		t.Error("removed tail still resolves")
+	}
+	// Removing an unknown vpn is a no-op.
+	rt.RemoveRange(9999)
+}
+
+func TestRangeTLBHitConstructsPTE(t *testing.T) {
+	table := NewRangeTable()
+	table.AddRange(0x1000, 0x800, 0x9000, 2)
+	rtlb := NewRangeTLB(table, 32)
+	e, ok := rtlb.Lookup(0x1234)
+	if !ok {
+		t.Fatal("miss")
+	}
+	if e.Order != 0 {
+		t.Errorf("RMM must construct 4K PTEs, got order %d", e.Order)
+	}
+	if e.VPN != 0x1234 || e.PFN != 0x9000+(0x1234-0x1000) {
+		t.Errorf("entry=%+v", e)
+	}
+	s := rtlb.Stats()
+	// First lookup missed the TLB and filled from the table.
+	if s.Hits != 0 || s.TableFills != 1 || s.TableRefs != 2 {
+		t.Errorf("stats=%+v", s)
+	}
+	// Second lookup hits the Range TLB.
+	if _, ok := rtlb.Lookup(0x1500); !ok {
+		t.Fatal("second lookup missed")
+	}
+	if rtlb.Stats().Hits != 1 {
+		t.Errorf("stats=%+v", rtlb.Stats())
+	}
+}
+
+func TestRangeTLBMissWhenNoRange(t *testing.T) {
+	rtlb := NewRangeTLB(NewRangeTable(), 4)
+	if _, ok := rtlb.Lookup(5); ok {
+		t.Error("hit with empty table")
+	}
+	if rtlb.Stats().Misses != 1 {
+		t.Errorf("stats=%+v", rtlb.Stats())
+	}
+}
+
+func TestRangeTLBCapacityThrash(t *testing.T) {
+	table := NewRangeTable()
+	// 64 disjoint, non-mergeable ranges but only 4 TLB entries: round-robin
+	// access thrashes, so table fills dominate (the gcc effect, §IV-B).
+	for i := 0; i < 64; i++ {
+		table.AddRange(addr.VPN(i*1000), 10, addr.PFN(i*2000), 0)
+	}
+	rtlb := NewRangeTLB(table, 4)
+	for pass := 0; pass < 3; pass++ {
+		for i := 0; i < 64; i++ {
+			if _, ok := rtlb.Lookup(addr.VPN(i * 1000)); !ok {
+				t.Fatal("range lost")
+			}
+		}
+	}
+	s := rtlb.Stats()
+	if s.Hits > s.TableFills {
+		t.Errorf("expected thrash: %+v", s)
+	}
+}
+
+func TestRangeTLBFlush(t *testing.T) {
+	table := NewRangeTable()
+	table.AddRange(10, 10, 100, 0)
+	rtlb := NewRangeTLB(table, 8)
+	rtlb.Lookup(10)
+	rtlb.Flush()
+	rtlb.Lookup(10)
+	if rtlb.Stats().TableFills != 2 {
+		t.Errorf("stats=%+v", rtlb.Stats())
+	}
+}

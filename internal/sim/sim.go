@@ -1,0 +1,670 @@
+// Package sim is the two-step evaluation harness of §IV-A: it assembles a
+// machine (buddy allocator, OS kernel, page table, MMU with the chosen
+// translation mechanism, data caches) and drives a workload's reference
+// stream through it, producing the functional TLB/walk statistics of the
+// PIN-based simulator and, optionally, the cycle-level timing of the
+// ZSim-based study via the cpu package.
+package sim
+
+import (
+	"fmt"
+
+	"tps/internal/addr"
+	"tps/internal/buddy"
+	"tps/internal/cache"
+	"tps/internal/colt"
+	"tps/internal/cpu"
+	"tps/internal/mmu"
+	"tps/internal/pagetable"
+	"tps/internal/rmm"
+	"tps/internal/trace"
+	"tps/internal/vmm"
+	"tps/internal/workload"
+)
+
+// Setup selects the translation mechanism under evaluation.
+type Setup int
+
+const (
+	// SetupBase4K: demand paging, 4 KB pages only.
+	SetupBase4K Setup = iota
+	// SetupTHP: reservation-based Transparent Huge Pages (the baseline of
+	// Figs. 10, 11, 13, 14, 16).
+	SetupTHP
+	// SetupTPS: Tailored Page Sizes with reservation-based demand paging.
+	SetupTPS
+	// SetupTPSEager: TPS with eager paging.
+	SetupTPSEager
+	// SetupCoLT: CoLT-SA coalescing hardware over 4 KB demand paging.
+	SetupCoLT
+	// SetupRMM: Redundant Memory Mappings (eager ranges + Range TLB).
+	SetupRMM
+	// Setup2MOnly: every mapping uses 2 MB pages exclusively (Fig. 9).
+	Setup2MOnly
+)
+
+// String names the setup as it appears in the paper's figures.
+func (s Setup) String() string {
+	switch s {
+	case SetupTHP:
+		return "THP"
+	case SetupTPS:
+		return "TPS"
+	case SetupTPSEager:
+		return "TPS-eager"
+	case SetupCoLT:
+		return "CoLT"
+	case SetupRMM:
+		return "RMM"
+	case Setup2MOnly:
+		return "2M-only"
+	default:
+		return "4K"
+	}
+}
+
+// Options parameterizes one run.
+type Options struct {
+	Setup Setup
+	// Refs is the approximate reference count to simulate.
+	Refs uint64
+	// Seed drives the workload generator.
+	Seed int64
+	// MemoryPages sizes physical memory in base pages (default 2^21 =
+	// 8 GB).
+	MemoryPages uint64
+	// PreFragment, if set, mutates the fresh allocator into a fragmented
+	// initial state before the workload starts (Figs. 15/16).
+	PreFragment func(*buddy.Allocator)
+
+	// OS knobs (TPS setups).
+	PromotionThreshold float64
+	Sizing             vmm.Sizing
+	AliasStrategy      pagetable.AliasStrategy
+	CompactOnFailure   bool
+
+	// CompactEvery, when nonzero, runs the incremental compaction daemon
+	// every N references: compaction plus merge-aware page growth, the
+	// §IV-B suggestion for long-running workloads under fragmentation
+	// ("incremental guided memory compaction over time would help TPS
+	// incrementally grow page sizes").
+	CompactEvery uint64
+
+	// Hardware knobs.
+	Levels        int
+	Virtualized   bool
+	TPSTLBEntries int  // 0 = default 32 (ablation sweeps override)
+	TPSTLBSkewed  bool // skewed-associative TPS TLB instead of FA
+
+	// CycleModel enables the data-cache and OOO timing scenarios.
+	CycleModel bool
+	// SMT interleaves a second copy of the workload (different seed,
+	// disjoint address ranges) through the same translation hardware.
+	SMT bool
+}
+
+// Result is one run's measurements.
+type Result struct {
+	Workload string
+	Setup    Setup
+
+	Refs         uint64
+	Instructions uint64
+
+	MMU  mmu.Stats
+	OS   vmm.Stats
+	RMM  rmm.Stats  // SetupRMM only
+	CoLT colt.Stats // SetupCoLT only
+
+	// WalkMemRefs is the total page-walk memory references including
+	// nested (virtualized) refs and RMM range-walker fetches — the
+	// Fig. 11 metric.
+	WalkMemRefs uint64
+
+	// L1MPKI is L1 DTLB misses per thousand instructions (Fig. 8).
+	L1MPKI float64
+
+	Census        map[addr.Order]uint64 // Fig. 18
+	MappedPages   uint64                // Fig. 9 footprint metric
+	DemandPages   uint64
+	ReservedPages uint64 // pages held by the paging reservation table
+	PTEWrites     uint64 // page-table entry stores (whole run)
+
+	// Cycle-model scenario outputs (CycleModel only).
+	CyclesReal      uint64 // actual translation latencies
+	CyclesPerfectL2 uint64 // every L1 miss costs one STLB hit; no walks
+	CyclesIdeal     uint64 // no translation overhead at all
+	CyclesWarmup    uint64 // real-scenario cycles spent before the main phase
+
+	// WalkerCycles is the raw page-walker busy time in the real scenario
+	// (latency sum of walk memory references) — the PWC performance
+	// counter Fig. 12 reasons about. Unlike TPW it is not adjusted for
+	// out-of-order overlap.
+	WalkerCycles uint64
+
+	// SysCyclesMain is OS work during the measured phase only;
+	// Result.OS.SysCycles covers the whole run including initialization.
+	SysCyclesMain uint64
+}
+
+// TPW returns the execution time lost to page walks (the paper's T_PW).
+func (r Result) TPW() uint64 {
+	if r.CyclesReal < r.CyclesPerfectL2 {
+		return 0
+	}
+	return r.CyclesReal - r.CyclesPerfectL2
+}
+
+// TL1DTLBM returns the time lost to L1 TLB misses that hit the L2
+// (the paper's T_L1DTLBM).
+func (r Result) TL1DTLBM() uint64 {
+	if r.CyclesPerfectL2 < r.CyclesIdeal {
+		return 0
+	}
+	return r.CyclesPerfectL2 - r.CyclesIdeal
+}
+
+// proc is one simulated process (address space): its kernel, its
+// hardware-thread MMU context, and any per-process baseline machinery.
+type proc struct {
+	kernel *vmm.Kernel
+	mmu    *mmu.MMU
+	ranges *rmm.RangeTable
+	rtlb   *rmm.RangeTLB
+	coal   *colt.Coalescer
+
+	// Warmup baselines captured at the main-phase boundary.
+	baseMMU   mmu.Stats
+	baseRMM   rmm.Stats
+	baseCoLT  colt.Stats
+	baseOSSys uint64
+}
+
+// machine bundles one assembled system: shared physical memory and
+// translation hardware, plus one proc per hardware thread (two under SMT,
+// with distinct address spaces distinguished by ASIDs).
+type machine struct {
+	opts    Options
+	bud     *buddy.Allocator
+	hw      *mmu.Hardware
+	procs   []*proc
+	caches  *cache.Hierarchy
+	real    *cpu.Model
+	pl2     *cpu.Model
+	ideal   *cpu.Model
+	stlbLat uint64
+
+	walkerCycles uint64 // raw walker busy cycles (real scenario)
+	baseWalker   uint64
+	cyclesWarmup uint64
+
+	refsSeen uint64 // compaction-daemon scheduling
+}
+
+// Phase implements trace.PhaseSink: at the main-phase boundary, snapshot
+// warmup hardware statistics and restart the timing models (caches stay
+// warm). Region-of-interest methodology: initialization misses are
+// compulsory in every setup.
+func (m *machine) Phase(name string) {
+	if name != trace.MainPhase {
+		return
+	}
+	for _, p := range m.procs {
+		p.baseMMU = p.mmu.Stats()
+		if p.rtlb != nil {
+			p.baseRMM = p.rtlb.Stats()
+		}
+		if p.coal != nil {
+			p.baseCoLT = p.coal.Stats()
+		}
+		p.baseOSSys = p.kernel.Stats().SysCycles
+	}
+	m.baseWalker = m.walkerCycles
+	if m.real != nil {
+		m.cyclesWarmup = m.real.Cycles()
+		m.real = cpu.New(cpu.DefaultParams())
+		m.pl2 = cpu.New(cpu.DefaultParams())
+		m.ideal = cpu.New(cpu.DefaultParams())
+	}
+}
+
+// subMMU subtracts warmup counters from a final snapshot.
+func subMMU(a, b mmu.Stats) mmu.Stats {
+	a.Accesses -= b.Accesses
+	a.L1Hits -= b.L1Hits
+	a.L1Misses -= b.L1Misses
+	a.STLBHits -= b.STLBHits
+	a.STLBMisses -= b.STLBMisses
+	a.SidecarHits -= b.SidecarHits
+	a.Walks -= b.Walks
+	a.WalkRefs -= b.WalkRefs
+	a.AliasExtras -= b.AliasExtras
+	a.NestedRefs -= b.NestedRefs
+	for i := range a.PWCHits {
+		a.PWCHits[i] -= b.PWCHits[i]
+	}
+	a.ADWrites -= b.ADWrites
+	return a
+}
+
+// addMMU sums two stat blocks (SMT aggregation).
+func addMMU(a, b mmu.Stats) mmu.Stats {
+	a.Accesses += b.Accesses
+	a.L1Hits += b.L1Hits
+	a.L1Misses += b.L1Misses
+	a.STLBHits += b.STLBHits
+	a.STLBMisses += b.STLBMisses
+	a.SidecarHits += b.SidecarHits
+	a.Walks += b.Walks
+	a.WalkRefs += b.WalkRefs
+	a.AliasExtras += b.AliasExtras
+	a.NestedRefs += b.NestedRefs
+	for i := range a.PWCHits {
+		a.PWCHits[i] += b.PWCHits[i]
+	}
+	a.ADWrites += b.ADWrites
+	return a
+}
+
+// newMachine assembles the system for the options.
+func newMachine(opts Options) *machine {
+	if opts.MemoryPages == 0 {
+		opts.MemoryPages = 1 << 21 // 8 GB
+	}
+	bud := buddy.New(opts.MemoryPages)
+	if opts.PreFragment != nil {
+		opts.PreFragment(bud)
+	}
+
+	var policy vmm.Policy
+	var org mmu.Organization
+	switch opts.Setup {
+	case SetupTHP:
+		policy, org = vmm.PolicyTHP, mmu.OrgConventional
+	case SetupTPS:
+		policy, org = vmm.PolicyTPS, mmu.OrgTPS
+	case SetupTPSEager:
+		policy, org = vmm.PolicyTPSEager, mmu.OrgTPS
+	case SetupCoLT:
+		// CoLT is pure hardware added over the baseline OS: coalescing
+		// applies to the THP system's unpromoted 4K runs and to its
+		// physically contiguous 2M pages.
+		policy, org = vmm.PolicyTHP, mmu.OrgCoLT
+	case SetupRMM:
+		policy, org = vmm.PolicyRMMEager, mmu.OrgConventional
+	case Setup2MOnly:
+		policy, org = vmm.Policy2MOnly, mmu.OrgConventional
+	default:
+		policy, org = vmm.PolicyBase4K, mmu.OrgConventional
+	}
+
+	kcfg := vmm.DefaultConfig(policy)
+	if opts.PromotionThreshold > 0 {
+		kcfg.PromotionThreshold = opts.PromotionThreshold
+	}
+	kcfg.Sizing = opts.Sizing
+	kcfg.AliasStrategy = opts.AliasStrategy
+	kcfg.CompactOnFailure = opts.CompactOnFailure
+	if opts.Levels != 0 {
+		kcfg.Levels = opts.Levels
+	}
+
+	mcfg := mmu.DefaultConfig(org)
+	mcfg.Levels = kcfg.Levels
+	mcfg.Virtualized = opts.Virtualized
+	if opts.TPSTLBEntries > 0 {
+		mcfg.TPSTLBEntries = opts.TPSTLBEntries
+	}
+	mcfg.TPSTLBSkewed = opts.TPSTLBSkewed
+
+	m := &machine{opts: opts, bud: bud, hw: mmu.NewHardware(mcfg), stlbLat: 7}
+
+	nProcs := 1
+	if opts.SMT {
+		// SMT siblings are separate processes sharing the translation
+		// hardware; their TLB entries are distinguished by ASID.
+		nProcs = 2
+	}
+	for i := 0; i < nProcs; i++ {
+		p := &proc{kernel: vmm.New(kcfg, bud)}
+		var sidecar mmu.Sidecar
+		var fill mmu.FillPolicy
+		if opts.Setup == SetupRMM {
+			p.ranges = rmm.NewRangeTable()
+			p.rtlb = rmm.NewRangeTLB(p.ranges, 32)
+			p.kernel.AttachRanger(p.ranges)
+			sidecar = p.rtlb
+		}
+		if opts.Setup == SetupCoLT {
+			p.coal = colt.New(p.kernel.Table(), colt.MaxClusterOrder)
+			fill = p.coal.FillPolicy()
+		}
+		p.mmu = mmu.NewThread(m.hw, p.kernel.Table(), uint16(i), sidecar, fill)
+		p.kernel.AttachMMU(p.mmu)
+		m.procs = append(m.procs, p)
+	}
+
+	if opts.CycleModel {
+		m.caches = cache.NewHierarchy()
+		m.real = cpu.New(cpu.DefaultParams())
+		m.pl2 = cpu.New(cpu.DefaultParams())
+		m.ideal = cpu.New(cpu.DefaultParams())
+	}
+	return m
+}
+
+// Mmap implements trace.Sink (thread 0).
+func (m *machine) Mmap(size uint64) (addr.Virt, error) { return m.mmapAs(0, size) }
+
+// Munmap implements trace.Sink (thread 0).
+func (m *machine) Munmap(base addr.Virt) error { return m.procs[0].kernel.Munmap(base) }
+
+// Ref implements trace.Sink (thread 0).
+func (m *machine) Ref(r trace.Ref) error { return m.refAs(0, r) }
+
+func (m *machine) mmapAs(t int, size uint64) (addr.Virt, error) {
+	return m.procs[t].kernel.Mmap(size, 0)
+}
+
+// refAs translates thread t's access (faulting as needed), then prices it
+// under each timing scenario.
+func (m *machine) refAs(t int, r trace.Ref) error {
+	if m.opts.CompactEvery > 0 {
+		m.refsSeen++
+		if m.refsSeen%m.opts.CompactEvery == 0 {
+			// The incremental daemon defragments, re-homes fragmented
+			// reservations into whole blocks (guided compaction,
+			// §IV-B), then grows pages whose frames became adjacent
+			// (merge-aware compaction, §III-B3).
+			for _, p := range m.procs {
+				p.kernel.Compact()
+				p.kernel.ConsolidateReservations()
+				p.kernel.MergePages()
+			}
+		}
+	}
+	res, err := m.procs[t].kernel.Access(r.Addr, r.Write)
+	if err != nil {
+		return err
+	}
+	if m.caches == nil {
+		return nil
+	}
+	memLat := m.caches.Latency(res.Phys)
+
+	// Translation latency under the real hierarchy.
+	var translReal uint64
+	switch {
+	case res.L1Hit:
+		translReal = 0
+	case res.STLBHit, res.Sidecar:
+		translReal = m.stlbLat
+	default:
+		refs := res.WalkRefs
+		if m.opts.Virtualized {
+			refs = refs*(addr.Levels4+1) + addr.Levels4
+		}
+		var walkLat uint64
+		for i := 0; i < refs; i++ {
+			walkLat += m.caches.WalkRefLatency(walkRefAddr(r.Addr, i))
+		}
+		m.walkerCycles += walkLat
+		translReal = m.stlbLat + walkLat // discover the STLB miss first
+	}
+	var translPL2 uint64
+	if !res.L1Hit {
+		translPL2 = m.stlbLat
+	}
+
+	m.real.Instr(uint64(r.Gap))
+	m.real.Ref(r.Dep, translReal+memLat)
+	m.pl2.Instr(uint64(r.Gap))
+	m.pl2.Ref(r.Dep, translPL2+memLat)
+	m.ideal.Instr(uint64(r.Gap))
+	m.ideal.Ref(r.Dep, memLat)
+	return nil
+}
+
+// walkRefAddr synthesizes a stable physical address for the i-th memory
+// reference of a walk for v, so walk refs exhibit realistic cache reuse:
+// references to the same page-table node map to the same line region.
+func walkRefAddr(v addr.Virt, level int) addr.Phys {
+	prefix := uint64(v) >> (addr.BasePageShift + uint(level)*addr.LevelBits)
+	h := prefix*0x9e3779b97f4a7c15 + uint64(level)*0xbf58476d1ce4e5b9
+	// Confine walk lines to a dedicated 64 MB region so they compete with
+	// data in the LLC the way in-memory page tables do.
+	const walkRegion = uint64(1) << 45
+	return addr.Phys(walkRegion | (h & (64<<20 - 1) &^ 7))
+}
+
+// Run executes one workload under the options and collects the result.
+func Run(w workload.Workload, opts Options) (Result, error) {
+	if opts.Refs == 0 {
+		opts.Refs = 1 << 20
+	}
+	m := newMachine(opts)
+
+	counter := &trace.CountingSink{Sink: m}
+	if opts.SMT {
+		if err := runSMT(w, m, counter, opts); err != nil {
+			return Result{}, err
+		}
+	} else {
+		if err := w.Run(counter, opts.Refs, opts.Seed); err != nil {
+			return Result{}, err
+		}
+	}
+	return m.collect(w, counter), nil
+}
+
+func (m *machine) collect(w workload.Workload, c *trace.CountingSink) Result {
+	r := Result{
+		Workload:     w.Name,
+		Setup:        m.opts.Setup,
+		Refs:         c.Refs,
+		Instructions: c.Instructions,
+		Census:       make(map[addr.Order]uint64),
+	}
+	var sysMain uint64
+	for _, p := range m.procs {
+		ms := subMMU(p.mmu.Stats(), p.baseMMU)
+		r.MMU = addMMU(r.MMU, ms)
+		os := p.kernel.Stats()
+		r.OS = addOS(r.OS, os)
+		for o, n := range p.kernel.PageSizeCensus() {
+			r.Census[o] += n
+		}
+		r.MappedPages += p.kernel.MappedBasePages()
+		r.DemandPages += os.DemandPages
+		r.ReservedPages += p.kernel.ReservedBasePages()
+		r.PTEWrites += p.kernel.Table().Stats().PTEWrites
+		sysMain += os.SysCycles - p.baseOSSys
+		if p.rtlb != nil {
+			rs := p.rtlb.Stats()
+			rs.Lookups -= p.baseRMM.Lookups
+			rs.Hits -= p.baseRMM.Hits
+			rs.TableFills -= p.baseRMM.TableFills
+			rs.TableRefs -= p.baseRMM.TableRefs
+			rs.Misses -= p.baseRMM.Misses
+			r.RMM = addRMM(r.RMM, rs)
+		}
+		if p.coal != nil {
+			cs := p.coal.Stats()
+			cs.Fills -= p.baseCoLT.Fills
+			cs.Coalesced -= p.baseCoLT.Coalesced
+			cs.PagesSpanned -= p.baseCoLT.PagesSpanned
+			r.CoLT = addCoLT(r.CoLT, cs)
+		}
+	}
+	r.WalkMemRefs = r.MMU.WalkRefs + r.MMU.NestedRefs + r.RMM.TableRefs
+	if c.Instructions > 0 {
+		r.L1MPKI = float64(r.MMU.L1Misses) / (float64(c.Instructions) / 1000)
+	}
+	if m.real != nil {
+		r.CyclesReal = m.real.Cycles()
+		r.CyclesPerfectL2 = m.pl2.Cycles()
+		r.CyclesIdeal = m.ideal.Cycles()
+		r.CyclesWarmup = m.cyclesWarmup
+	}
+	r.WalkerCycles = m.walkerCycles - m.baseWalker
+	r.SysCyclesMain = sysMain
+	return r
+}
+
+// addOS sums OS stat blocks (SMT aggregation).
+func addOS(a, b vmm.Stats) vmm.Stats {
+	a.Mmaps += b.Mmaps
+	a.Munmaps += b.Munmaps
+	a.Faults += b.Faults
+	a.DemandPages += b.DemandPages
+	a.Reservations += b.Reservations
+	a.FallbackBlocks += b.FallbackBlocks
+	a.Promotions += b.Promotions
+	a.PageMerges += b.PageMerges
+	a.Compactions += b.Compactions
+	a.RelocatedPages += b.RelocatedPages
+	a.ZeroedPages += b.ZeroedPages
+	a.SysCycles += b.SysCycles
+	a.Cow.Clones += b.Cow.Clones
+	a.Cow.Faults += b.Cow.Faults
+	a.Cow.CopiedPages += b.Cow.CopiedPages
+	a.Cow.SplitPages += b.Cow.SplitPages
+	return a
+}
+
+// addRMM sums Range TLB stat blocks.
+func addRMM(a, b rmm.Stats) rmm.Stats {
+	a.Lookups += b.Lookups
+	a.Hits += b.Hits
+	a.TableFills += b.TableFills
+	a.TableRefs += b.TableRefs
+	a.Misses += b.Misses
+	return a
+}
+
+// addCoLT sums coalescing stat blocks.
+func addCoLT(a, b colt.Stats) colt.Stats {
+	a.Fills += b.Fills
+	a.Coalesced += b.Coalesced
+	a.PagesSpanned += b.PagesSpanned
+	return a
+}
+
+// runSMT interleaves two copies of the workload (seeds s and s+1000)
+// through one machine in fixed quanta, modeling an SMT sibling competing
+// for TLB resources (Figs. 2 and 14). Producers run in goroutines and
+// block on unbuffered channels, so the interleave is deterministic.
+func runSMT(w workload.Workload, m *machine, counter *trace.CountingSink, opts Options) error {
+	const quantum = 8
+	threads := [2]*smtThread{
+		startSMTThread(w, opts.Seed, opts.Refs/2),
+		startSMTThread(w, opts.Seed+1000, opts.Refs/2),
+	}
+	live := 2
+	alive := [2]bool{true, true}
+	mainAnnounced := 0
+	for live > 0 {
+		for i, t := range threads {
+			if !alive[i] {
+				continue
+			}
+			for q := 0; q < quantum; {
+				select {
+				case r, ok := <-t.refs:
+					if !ok {
+						alive[i] = false
+						live--
+						q = quantum
+						continue
+					}
+					counter.Refs++
+					counter.Instructions += uint64(r.Gap) + 1
+					if r.Write {
+						counter.Writes++
+					}
+					if err := m.refAs(i, r); err != nil {
+						return err
+					}
+					q++
+				case req := <-t.mmaps:
+					base, err := m.mmapAs(i, req.size)
+					if err != nil {
+						return err
+					}
+					req.reply <- base
+				case name := <-t.phases:
+					// Measurement starts once both siblings reach their
+					// main phase.
+					if name == trace.MainPhase {
+						mainAnnounced++
+						if mainAnnounced == 2 {
+							trace.AnnouncePhase(counter, name)
+						}
+					}
+				}
+			}
+		}
+	}
+	for _, t := range threads {
+		if err := <-t.done; err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// smtThread is one SMT sibling's event channels.
+type smtThread struct {
+	refs   chan trace.Ref
+	mmaps  chan mmapReq
+	phases chan string
+	done   chan error
+}
+
+type mmapReq struct {
+	size  uint64
+	reply chan addr.Virt
+}
+
+// startSMTThread launches the workload generator as a coroutine feeding
+// the scheduler.
+func startSMTThread(w workload.Workload, seed int64, refs uint64) *smtThread {
+	t := &smtThread{
+		refs:   make(chan trace.Ref),
+		mmaps:  make(chan mmapReq),
+		phases: make(chan string),
+		done:   make(chan error, 1),
+	}
+	go func() {
+		err := w.Run(&smtSink{t: t}, refs, seed)
+		close(t.refs)
+		t.done <- err
+	}()
+	return t
+}
+
+// smtSink adapts one SMT thread's workload callbacks onto the scheduler's
+// channels.
+type smtSink struct {
+	t *smtThread
+}
+
+func (s *smtSink) Mmap(size uint64) (addr.Virt, error) {
+	req := mmapReq{size: size, reply: make(chan addr.Virt)}
+	s.t.mmaps <- req
+	return <-req.reply, nil
+}
+
+func (s *smtSink) Munmap(base addr.Virt) error {
+	return fmt.Errorf("sim: munmap unsupported under SMT")
+}
+
+func (s *smtSink) Ref(r trace.Ref) error {
+	s.t.refs <- r
+	return nil
+}
+
+// Phase implements trace.PhaseSink.
+func (s *smtSink) Phase(name string) {
+	s.t.phases <- name
+}

@@ -1,0 +1,161 @@
+package tlb
+
+import (
+	"math/rand"
+	"testing"
+
+	"tps/internal/addr"
+)
+
+func TestSkewedBasicHitMiss(t *testing.T) {
+	s := NewSkewed("skew", 4, 8)
+	if _, hit := s.Lookup(5); hit {
+		t.Fatal("empty hit")
+	}
+	s.Insert(Entry{VPN: 5, PFN: 50, Order: 0})
+	e, hit := s.Lookup(5)
+	if !hit || e.PFN != 50 {
+		t.Fatalf("hit=%v e=%v", hit, e)
+	}
+	st := s.Stats()
+	if st.Hits != 1 || st.Misses != 1 || st.Fills != 1 {
+		t.Errorf("stats=%+v", st)
+	}
+}
+
+func TestSkewedMaskedMatchAnySize(t *testing.T) {
+	s := NewSkewed("skew", 4, 8)
+	s.Insert(Entry{VPN: 0x1000, PFN: 0x5000, Order: 5}) // 128K page
+	for _, v := range []addr.VPN{0x1000, 0x101f} {
+		e, hit := s.Lookup(v)
+		if !hit || e.Translate(v) != 0x5000+addr.PFN(v-0x1000) {
+			t.Errorf("vpn %#x: hit=%v", v, hit)
+		}
+	}
+	if _, hit := s.Lookup(0x1020); hit {
+		t.Error("out-of-page hit")
+	}
+}
+
+func TestSkewedMixedSizes(t *testing.T) {
+	s := NewSkewed("skew", 4, 8)
+	orders := []addr.Order{0, 2, 5, 9, 12}
+	for i, o := range orders {
+		vpn := addr.VPN(uint64(i+1) << 20).AlignDown(o)
+		s.Insert(Entry{VPN: vpn, PFN: addr.PFN(vpn), Order: o})
+	}
+	for i, o := range orders {
+		vpn := addr.VPN(uint64(i+1) << 20).AlignDown(o)
+		if e, hit := s.Probe(vpn + addr.VPN(o.Pages()-1)); !hit || e.Order != o {
+			t.Errorf("order %d missing", o)
+		}
+	}
+}
+
+func TestSkewedSpreadsConflicts(t *testing.T) {
+	// Entries that all collide in a direct-mapped same-index scheme
+	// should mostly coexist under skewing: insert 4 entries whose
+	// low bits are identical; with 4 ways they can all fit.
+	s := NewSkewed("skew", 4, 8)
+	for i := 0; i < 4; i++ {
+		s.Insert(Entry{VPN: addr.VPN(i * 8 * 1024), Order: 0}) // same set in way 0? hashes differ per way
+	}
+	resident := 0
+	for i := 0; i < 4; i++ {
+		if _, hit := s.Probe(addr.VPN(i * 8 * 1024)); hit {
+			resident++
+		}
+	}
+	if resident < 3 {
+		t.Errorf("only %d of 4 conflicting entries resident", resident)
+	}
+}
+
+func TestSkewedApproachesFullyAssociative(t *testing.T) {
+	// Random working set of 24 pages on a 32-entry skewed TLB vs a
+	// 32-entry FA TLB: hit rates should be close.
+	rng := rand.New(rand.NewSource(11))
+	sk := NewSkewed("skew", 4, 8)
+	fa := NewFullyAssoc("fa", 32)
+	var pages []addr.VPN
+	for i := 0; i < 24; i++ {
+		pages = append(pages, addr.VPN(rng.Uint64()%(1<<30)))
+	}
+	for n := 0; n < 20000; n++ {
+		v := pages[rng.Intn(len(pages))]
+		if _, hit := sk.Lookup(v); !hit {
+			sk.Insert(Entry{VPN: v, Order: 0})
+		}
+		if _, hit := fa.Lookup(v); !hit {
+			fa.Insert(Entry{VPN: v, Order: 0})
+		}
+	}
+	skRate := sk.Stats().HitRate()
+	faRate := fa.Stats().HitRate()
+	if skRate < faRate-0.05 {
+		t.Errorf("skewed hit rate %.3f far below FA %.3f", skRate, faRate)
+	}
+}
+
+func TestSkewedInvalidateAndFlush(t *testing.T) {
+	s := NewSkewed("skew", 2, 4)
+	s.Insert(Entry{VPN: 0x100, Order: 4})
+	s.Insert(Entry{VPN: 0x200, Order: 0})
+	s.InvalidatePage(0x10f)
+	if _, hit := s.Probe(0x100); hit {
+		t.Error("page survived INVLPG")
+	}
+	if _, hit := s.Probe(0x200); !hit {
+		t.Error("unrelated entry dropped")
+	}
+	s.InvalidateRange(0x200, 0x201)
+	if _, hit := s.Probe(0x200); hit {
+		t.Error("range invalidate missed")
+	}
+	s.Insert(Entry{VPN: 1, Order: 0})
+	s.Flush()
+	if _, hit := s.Probe(1); hit {
+		t.Error("flush missed")
+	}
+}
+
+func TestSkewedReinsertRefreshes(t *testing.T) {
+	s := NewSkewed("skew", 2, 4)
+	s.Insert(Entry{VPN: 0x40, Order: 2, Flags: 0})
+	s.Insert(Entry{VPN: 0x40, Order: 2, Flags: 9})
+	if s.Stats().Fills != 1 {
+		t.Errorf("fills=%d", s.Stats().Fills)
+	}
+	e, _ := s.Probe(0x40)
+	if e.Flags != 9 {
+		t.Errorf("flags=%d", e.Flags)
+	}
+}
+
+func TestSkewedGeometryValidation(t *testing.T) {
+	for _, f := range []func(){
+		func() { NewSkewed("x", 0, 8) },
+		func() { NewSkewed("x", 4, 0) },
+		func() { NewSkewed("x", 4, 3) },
+	} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Error("expected panic")
+				}
+			}()
+			f()
+		}()
+	}
+}
+
+func BenchmarkSkewedLookup(b *testing.B) {
+	s := NewSkewed("skew", 4, 8)
+	for i := 0; i < 32; i++ {
+		s.Insert(Entry{VPN: addr.VPN(i << 9), Order: 9})
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		s.Lookup(addr.VPN(i) & 0x3fff)
+	}
+}

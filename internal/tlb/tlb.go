@@ -1,0 +1,394 @@
+// Package tlb implements the translation-lookaside-buffer structures of the
+// paper's microarchitecture (§III-A2, Fig. 7):
+//
+//   - SetAssoc: a conventional set-associative TLB for one or more fixed
+//     page sizes with true LRU, used for the split L1 TLBs (64-entry 4 KB,
+//     32-entry 2 MB, 4-entry 1 GB) and the unified L2 STLB.
+//   - FullyAssoc: the paper's any-page-size TPS TLB. Each entry carries a
+//     page-mask field populated at fill time; an incoming VPN is masked
+//     with the entry's mask before the tag compare, adding a single gate
+//     delay. 32 entries fully associative, as productized AMD L1 designs.
+//
+// All TLBs operate on base-granularity virtual page numbers; an entry of
+// order k covers 2^k consecutive base VPNs.
+package tlb
+
+import (
+	"fmt"
+
+	"tps/internal/addr"
+)
+
+// Entry is one cached translation.
+type Entry struct {
+	VPN   addr.VPN   // first base page of the mapped page (order-aligned)
+	PFN   addr.PFN   // first base frame (order-aligned)
+	Order addr.Order // page size
+	Flags uint64     // cached PTE flags (pte.Flag* bits: W, A, D, ...)
+}
+
+// Covers reports whether the entry translates the given base VPN.
+func (e Entry) Covers(vpn addr.VPN) bool {
+	return vpn.AlignDown(e.Order) == e.VPN
+}
+
+// Translate produces the base PFN for a covered VPN.
+func (e Entry) Translate(vpn addr.VPN) addr.PFN {
+	return e.PFN + addr.PFN(vpn-e.VPN)
+}
+
+// Stats counts TLB traffic.
+type Stats struct {
+	Accesses    uint64
+	Hits        uint64
+	Misses      uint64
+	Fills       uint64
+	Evictions   uint64
+	Invalidates uint64
+}
+
+// HitRate returns hits/accesses, or 0 with no accesses.
+func (s Stats) HitRate() float64 {
+	if s.Accesses == 0 {
+		return 0
+	}
+	return float64(s.Hits) / float64(s.Accesses)
+}
+
+// TLB is the interface shared by all TLB organizations.
+type TLB interface {
+	// Lookup finds an entry covering vpn, updating LRU and stats.
+	Lookup(vpn addr.VPN) (Entry, bool)
+	// Probe is Lookup without LRU or stat side effects.
+	Probe(vpn addr.VPN) (Entry, bool)
+	// Insert fills the entry, evicting LRU if needed.
+	Insert(e Entry)
+	// InvalidatePage drops any entry covering vpn (INVLPG).
+	InvalidatePage(vpn addr.VPN)
+	// InvalidateRange drops entries overlapping [start, end).
+	InvalidateRange(start, end addr.VPN)
+	// Flush drops everything.
+	Flush()
+	// Stats returns the traffic counters accumulated so far.
+	Stats() Stats
+	// Name identifies the TLB in reports.
+	Name() string
+	// Capacity returns the number of entries.
+	Capacity() int
+}
+
+// --- Set-associative TLB ---
+
+type way struct {
+	entry Entry
+	valid bool
+	lru   uint64
+}
+
+// SetAssoc is a set-associative TLB. It supports a fixed set of page
+// orders; lookups probe once per order that currently has resident entries
+// (the standard simulator treatment of the multiple-page-size indexing
+// problem the paper's §II-A describes).
+type SetAssoc struct {
+	name   string
+	sets   int
+	ways   int
+	orders []addr.Order
+	data   [][]way // [set][way]
+	tick   uint64
+	// residents[i] counts valid entries of orders[i], so lookups skip
+	// probes for absent sizes.
+	residents []int
+	stats     Stats
+}
+
+// NewSetAssoc builds a set-associative TLB with the given geometry.
+// sets must be a power of two. The orders list gives the page sizes the
+// TLB accepts (e.g. just order 0 for the 4 KB L1, or 0 and 9 for the
+// Skylake unified STLB).
+func NewSetAssoc(name string, sets, ways int, orders ...addr.Order) *SetAssoc {
+	if sets <= 0 || !addr.IsPow2(uint64(sets)) {
+		panic(fmt.Sprintf("tlb: sets %d must be a positive power of two", sets))
+	}
+	if ways <= 0 {
+		panic("tlb: ways must be positive")
+	}
+	if len(orders) == 0 {
+		panic("tlb: at least one page order required")
+	}
+	t := &SetAssoc{
+		name:      name,
+		sets:      sets,
+		ways:      ways,
+		orders:    append([]addr.Order(nil), orders...),
+		data:      make([][]way, sets),
+		residents: make([]int, len(orders)),
+	}
+	for i := range t.data {
+		t.data[i] = make([]way, ways)
+	}
+	return t
+}
+
+// Name implements TLB.
+func (t *SetAssoc) Name() string { return t.name }
+
+// Capacity implements TLB.
+func (t *SetAssoc) Capacity() int { return t.sets * t.ways }
+
+// Stats implements TLB.
+func (t *SetAssoc) Stats() Stats { return t.stats }
+
+func (t *SetAssoc) index(vpn addr.VPN, o addr.Order) int {
+	return int(uint64(vpn)>>uint(o)) & (t.sets - 1)
+}
+
+func (t *SetAssoc) orderSlot(o addr.Order) int {
+	for i, v := range t.orders {
+		if v == o {
+			return i
+		}
+	}
+	return -1
+}
+
+// Lookup implements TLB.
+func (t *SetAssoc) Lookup(vpn addr.VPN) (Entry, bool) {
+	t.stats.Accesses++
+	if e, w := t.find(vpn); w != nil {
+		t.tick++
+		w.lru = t.tick
+		t.stats.Hits++
+		return e, true
+	}
+	t.stats.Misses++
+	return Entry{}, false
+}
+
+// Probe implements TLB.
+func (t *SetAssoc) Probe(vpn addr.VPN) (Entry, bool) {
+	if e, w := t.find(vpn); w != nil {
+		return e, true
+	}
+	return Entry{}, false
+}
+
+func (t *SetAssoc) find(vpn addr.VPN) (Entry, *way) {
+	for i, o := range t.orders {
+		if t.residents[i] == 0 {
+			continue
+		}
+		base := vpn.AlignDown(o)
+		set := t.data[t.index(vpn, o)]
+		for w := range set {
+			if set[w].valid && set[w].entry.Order == o && set[w].entry.VPN == base {
+				return set[w].entry, &set[w]
+			}
+		}
+	}
+	return Entry{}, nil
+}
+
+// Insert implements TLB. Inserting a translation already present replaces
+// it in place (refreshing flags), so fills after permission upgrades work.
+func (t *SetAssoc) Insert(e Entry) {
+	slot := t.orderSlot(e.Order)
+	if slot < 0 {
+		panic(fmt.Sprintf("tlb %s: unsupported page order %d", t.name, e.Order))
+	}
+	t.tick++
+	set := t.data[t.index(e.VPN, e.Order)]
+	var victim *way
+	for w := range set {
+		if set[w].valid && set[w].entry.Order == e.Order && set[w].entry.VPN == e.VPN {
+			set[w].entry = e
+			set[w].lru = t.tick
+			return
+		}
+		if victim == nil || !set[w].valid || (victim.valid && set[w].lru < victim.lru) {
+			if victim == nil || victim.valid {
+				victim = &set[w]
+			}
+		}
+	}
+	if victim.valid {
+		t.residents[t.orderSlot(victim.entry.Order)]--
+		t.stats.Evictions++
+	}
+	victim.entry = e
+	victim.valid = true
+	victim.lru = t.tick
+	t.residents[slot]++
+	t.stats.Fills++
+}
+
+// InvalidatePage implements TLB.
+func (t *SetAssoc) InvalidatePage(vpn addr.VPN) {
+	for i, o := range t.orders {
+		if t.residents[i] == 0 {
+			continue
+		}
+		base := vpn.AlignDown(o)
+		set := t.data[t.index(vpn, o)]
+		for w := range set {
+			if set[w].valid && set[w].entry.Order == o && set[w].entry.VPN == base {
+				set[w].valid = false
+				t.residents[i]--
+				t.stats.Invalidates++
+			}
+		}
+	}
+}
+
+// InvalidateRange implements TLB.
+func (t *SetAssoc) InvalidateRange(start, end addr.VPN) {
+	for s := range t.data {
+		for w := range t.data[s] {
+			wy := &t.data[s][w]
+			if !wy.valid {
+				continue
+			}
+			eStart := wy.entry.VPN
+			eEnd := eStart + addr.VPN(wy.entry.Order.Pages())
+			if eStart < end && start < eEnd {
+				wy.valid = false
+				t.residents[t.orderSlot(wy.entry.Order)]--
+				t.stats.Invalidates++
+			}
+		}
+	}
+}
+
+// Flush implements TLB.
+func (t *SetAssoc) Flush() {
+	for s := range t.data {
+		for w := range t.data[s] {
+			if t.data[s][w].valid {
+				t.data[s][w].valid = false
+				t.stats.Invalidates++
+			}
+		}
+	}
+	for i := range t.residents {
+		t.residents[i] = 0
+	}
+}
+
+// --- Fully associative any-size TLB (the TPS TLB) ---
+
+// FullyAssoc is the paper's TPS TLB: fully associative, any page size, with
+// a page-mask field per entry. The incoming VPN is masked with each entry's
+// mask before tag compare (Fig. 7).
+type FullyAssoc struct {
+	name    string
+	entries []way
+	tick    uint64
+	stats   Stats
+}
+
+// NewFullyAssoc builds a fully associative any-page-size TLB.
+func NewFullyAssoc(name string, entries int) *FullyAssoc {
+	if entries <= 0 {
+		panic("tlb: entries must be positive")
+	}
+	return &FullyAssoc{name: name, entries: make([]way, entries)}
+}
+
+// Name implements TLB.
+func (t *FullyAssoc) Name() string { return t.name }
+
+// Capacity implements TLB.
+func (t *FullyAssoc) Capacity() int { return len(t.entries) }
+
+// Stats implements TLB.
+func (t *FullyAssoc) Stats() Stats { return t.stats }
+
+// Lookup implements TLB. The masked compare is the hardware page-mask
+// match: vpn & mask == tag, where mask = ^(pages-1) for the entry's size.
+func (t *FullyAssoc) Lookup(vpn addr.VPN) (Entry, bool) {
+	t.stats.Accesses++
+	for i := range t.entries {
+		w := &t.entries[i]
+		if w.valid && w.entry.Covers(vpn) {
+			t.tick++
+			w.lru = t.tick
+			t.stats.Hits++
+			return w.entry, true
+		}
+	}
+	t.stats.Misses++
+	return Entry{}, false
+}
+
+// Probe implements TLB.
+func (t *FullyAssoc) Probe(vpn addr.VPN) (Entry, bool) {
+	for i := range t.entries {
+		if t.entries[i].valid && t.entries[i].entry.Covers(vpn) {
+			return t.entries[i].entry, true
+		}
+	}
+	return Entry{}, false
+}
+
+// Insert implements TLB.
+func (t *FullyAssoc) Insert(e Entry) {
+	t.tick++
+	var victim *way
+	for i := range t.entries {
+		w := &t.entries[i]
+		if w.valid && w.entry.Order == e.Order && w.entry.VPN == e.VPN {
+			w.entry = e
+			w.lru = t.tick
+			return
+		}
+		if victim == nil || !w.valid || (victim.valid && w.lru < victim.lru) {
+			if victim == nil || victim.valid {
+				victim = w
+			}
+		}
+	}
+	if victim.valid {
+		t.stats.Evictions++
+	}
+	victim.entry = e
+	victim.valid = true
+	victim.lru = t.tick
+	t.stats.Fills++
+}
+
+// InvalidatePage implements TLB.
+func (t *FullyAssoc) InvalidatePage(vpn addr.VPN) {
+	for i := range t.entries {
+		w := &t.entries[i]
+		if w.valid && w.entry.Covers(vpn) {
+			w.valid = false
+			t.stats.Invalidates++
+		}
+	}
+}
+
+// InvalidateRange implements TLB.
+func (t *FullyAssoc) InvalidateRange(start, end addr.VPN) {
+	for i := range t.entries {
+		w := &t.entries[i]
+		if !w.valid {
+			continue
+		}
+		eStart := w.entry.VPN
+		eEnd := eStart + addr.VPN(w.entry.Order.Pages())
+		if eStart < end && start < eEnd {
+			w.valid = false
+			t.stats.Invalidates++
+		}
+	}
+}
+
+// Flush implements TLB.
+func (t *FullyAssoc) Flush() {
+	for i := range t.entries {
+		if t.entries[i].valid {
+			t.entries[i].valid = false
+			t.stats.Invalidates++
+		}
+	}
+}

@@ -1,0 +1,86 @@
+// Package trace defines the memory-reference stream flowing from workload
+// generators into the simulator, mirroring the paper's PIN-based tracing of
+// "memory management system calls and all memory accesses" (§IV-A).
+//
+// A workload drives a Sink: it requests mappings (the mmap system calls the
+// OS turns into reservations) and emits references. Each reference carries
+// the microarchitectural hints the cycle model needs: whether the access
+// depends on the previous load (pointer chasing keeps misses on the
+// critical path, §I) and how many non-memory instructions precede it
+// (setting the workload's MPKI denominator).
+package trace
+
+import "tps/internal/addr"
+
+// Ref is one data memory reference.
+type Ref struct {
+	// Addr is the virtual address referenced.
+	Addr addr.Virt
+	// Write marks stores.
+	Write bool
+	// Dep marks a reference whose address depends on the previous load's
+	// value (a linked-structure traversal): its latency cannot overlap
+	// with the preceding miss.
+	Dep bool
+	// Gap is the number of non-memory instructions executed since the
+	// previous reference.
+	Gap uint32
+}
+
+// Sink consumes a workload's events.
+type Sink interface {
+	// Mmap requests an anonymous mapping, returning its base address.
+	Mmap(size uint64) (addr.Virt, error)
+	// Munmap releases a mapping created by Mmap.
+	Munmap(base addr.Virt) error
+	// Ref performs one memory reference.
+	Ref(r Ref) error
+}
+
+// PhaseSink is optionally implemented by sinks that distinguish execution
+// phases. Generators announce the start of their measured main phase with
+// Phase(MainPhase) after the initialization sweep; harnesses discard
+// warmup statistics at that point (the standard region-of-interest
+// methodology — the paper's numbers are dominated by steady state, where
+// initialization is a vanishing fraction of the trace).
+type PhaseSink interface {
+	Phase(name string)
+}
+
+// MainPhase is the conventional name of the measured phase.
+const MainPhase = "main"
+
+// AnnouncePhase forwards a phase marker if the sink supports it.
+func AnnouncePhase(s Sink, name string) {
+	if ps, ok := s.(PhaseSink); ok {
+		ps.Phase(name)
+	}
+}
+
+// CountingSink wraps a Sink and tallies instructions and references;
+// harnesses embed it to compute MPKI.
+type CountingSink struct {
+	Sink
+	Refs         uint64
+	Instructions uint64
+	Writes       uint64
+}
+
+// Ref implements Sink.
+func (c *CountingSink) Ref(r Ref) error {
+	c.Refs++
+	c.Instructions += uint64(r.Gap) + 1
+	if r.Write {
+		c.Writes++
+	}
+	return c.Sink.Ref(r)
+}
+
+// Phase implements PhaseSink: counters restart at the measured phase and
+// the marker is forwarded to the wrapped sink.
+func (c *CountingSink) Phase(name string) {
+	if name == MainPhase {
+		c.Refs, c.Instructions, c.Writes = 0, 0, 0
+	}
+	AnnouncePhase(c.Sink, name)
+}

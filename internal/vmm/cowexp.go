@@ -1,0 +1,72 @@
+package vmm
+
+import (
+	"math/rand"
+
+	"tps/internal/addr"
+	"tps/internal/buddy"
+	"tps/internal/mmu"
+)
+
+// CowExperimentResult summarizes one §III-C3 policy measurement.
+type CowExperimentResult struct {
+	Faults      uint64 // CoW write faults taken
+	CopiedPages uint64 // base pages physically copied
+	RegionPages uint64 // pages (of any size) now mapping the clone region
+	SysCycles   uint64 // OS work attributable to the writes
+}
+
+// CowExperiment maps a region of `size` bytes, touches it fully (so TPS
+// promotes it to large tailored pages), clones it copy-on-write, then
+// writes `writeFrac` of its base pages through the clone under the given
+// policy. It reports the copy-time/TLB-pressure tradeoff the paper
+// describes: CowSplit copies little but shatters pages; CowFull copies
+// much but keeps the mapping coarse.
+func CowExperiment(policy CowPolicy, size uint64, writeFrac float64, seed int64) CowExperimentResult {
+	cfg := DefaultConfig(PolicyTPS)
+	cfg.CowPolicy = policy
+	bud := buddy.New(4 * size / addr.BasePageSize) // 4x headroom
+	k := New(cfg, bud)
+	m := mmu.New(mmu.DefaultConfig(mmu.OrgTPS), k.Table(), nil, nil)
+	k.AttachMMU(m)
+
+	base, err := k.Mmap(size, 0)
+	if err != nil {
+		panic(err)
+	}
+	pages := size / addr.BasePageSize
+	for i := uint64(0); i < pages; i++ {
+		if _, err := k.Access(base+addr.Virt(i*addr.BasePageSize), true); err != nil {
+			panic(err)
+		}
+	}
+	clone, err := k.CloneCOW(base)
+	if err != nil {
+		panic(err)
+	}
+
+	sys0 := k.Stats().SysCycles
+	rng := rand.New(rand.NewSource(seed))
+	writes := uint64(float64(pages) * writeFrac)
+	for i := uint64(0); i < writes; i++ {
+		p := uint64(rng.Int63()) % pages
+		if _, err := k.Access(clone+addr.Virt(p*addr.BasePageSize), true); err != nil {
+			panic(err)
+		}
+	}
+
+	s := k.Stats()
+	var regionPages uint64
+	cloneStart, cloneEnd := clone.PageNumber(), (clone + addr.Virt(size)).PageNumber()
+	k.Table().MappedPages(func(vpn addr.VPN, _ addr.PFN, o addr.Order, _ uint64) {
+		if vpn >= cloneStart && vpn < cloneEnd {
+			regionPages++
+		}
+	})
+	return CowExperimentResult{
+		Faults:      s.Cow.Faults,
+		CopiedPages: s.Cow.CopiedPages,
+		RegionPages: regionPages,
+		SysCycles:   s.SysCycles - sys0,
+	}
+}

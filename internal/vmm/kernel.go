@@ -1,0 +1,842 @@
+// Package vmm models the operating-system side of Tailored Page Sizes
+// (§III-B): virtual-memory areas, demand paging with frame reservation, the
+// paging reservation table, incremental page promotion through every
+// power-of-two size, eager paging, compaction-driven relocation, and page
+// merging. It drives the buddy allocator, the page table, and the MMU's
+// shootdown interface, and accounts the system time the Fig. 17 study
+// reports.
+package vmm
+
+import (
+	"errors"
+	"fmt"
+	"sort"
+
+	"tps/internal/addr"
+	"tps/internal/buddy"
+	"tps/internal/mmu"
+	"tps/internal/pagetable"
+	"tps/internal/pte"
+)
+
+// Ranger is the OS-side interface to a range-translation table (RMM). The
+// rmm package implements it; PolicyRMMEager drives it.
+type Ranger interface {
+	// AddRange registers a contiguous virtual-to-physical range.
+	AddRange(vpn addr.VPN, pages uint64, pfn addr.PFN, flags uint64)
+	// RemoveRange drops the range starting at vpn.
+	RemoveRange(vpn addr.VPN)
+}
+
+// Stats counts OS work.
+type Stats struct {
+	Mmaps          uint64
+	Munmaps        uint64
+	Faults         uint64 // demand page faults handled
+	DemandPages    uint64 // base pages demanded by faults
+	Reservations   uint64 // reservation-table inserts
+	FallbackBlocks uint64 // backing blocks smaller than the desired chunk
+	Promotions     uint64 // page-size upgrades performed
+	PageMerges     uint64 // §III-B3 merges of adjacent pages
+	Compactions    uint64
+	RelocatedPages uint64 // base pages moved by compaction
+	ZeroedPages    uint64 // base pages zeroed on first mapping
+	SysCycles      uint64 // accumulated system time (cost model)
+	Cow            CowStats
+}
+
+// vma is one mapped virtual region.
+type vma struct {
+	start, end   addr.Virt
+	flags        uint64
+	reservations []*reservation // sorted by vpn
+
+	// cow links VMAs sharing physical frames copy-on-write (§III-C3);
+	// cowFrames are the private frames this VMA's write faults copied
+	// into, freed at munmap.
+	cow       *cowGroup
+	cowFrames []block
+}
+
+// Kernel is the simulated operating system for one address space.
+type Kernel struct {
+	cfg    Config
+	bud    *buddy.Allocator
+	table  *pagetable.Table
+	mmu    *mmu.MMU
+	ranger Ranger
+
+	vmas   []*vma // sorted by start
+	nextVA addr.Virt
+
+	stats Stats
+}
+
+// New creates a kernel over the given buddy allocator. The MMU is attached
+// afterwards with AttachMMU (the machine owns it); until then faults still
+// work but no shootdowns are issued.
+func New(cfg Config, bud *buddy.Allocator) *Kernel {
+	if cfg.Levels == 0 {
+		cfg.Levels = addr.Levels4
+	}
+	if cfg.PromotionThreshold <= 0 {
+		cfg.PromotionThreshold = 1.0
+	}
+	if cfg.MaxTailoredOrder == 0 {
+		cfg.MaxTailoredOrder = addr.Order1G
+	}
+	if cfg.VABase == 0 {
+		cfg.VABase = addr.Virt(1) << 40
+	}
+	k := &Kernel{
+		cfg:    cfg,
+		bud:    bud,
+		table:  pagetable.New(cfg.Levels, cfg.AliasStrategy),
+		nextVA: cfg.VABase,
+	}
+	return k
+}
+
+// AttachMMU binds the hardware MMU (for shootdowns). The MMU must have
+// been built over this kernel's Table.
+func (k *Kernel) AttachMMU(m *mmu.MMU) {
+	if m.Table() != k.table {
+		panic("vmm: MMU built over a different page table")
+	}
+	k.mmu = m
+}
+
+// AttachRanger binds the RMM range table (PolicyRMMEager only).
+func (k *Kernel) AttachRanger(r Ranger) { k.ranger = r }
+
+// Table exposes the kernel's page table so the machine can build an MMU.
+func (k *Kernel) Table() *pagetable.Table { return k.table }
+
+// Config returns the kernel configuration.
+func (k *Kernel) Config() Config { return k.cfg }
+
+// Stats returns the OS counters including derived system time.
+func (k *Kernel) Stats() Stats {
+	s := k.stats
+	bs := k.bud.Stats()
+	ps := k.table.Stats()
+	s.SysCycles += (bs.Allocs + bs.Frees + bs.Splits + bs.Merges) * k.cfg.Costs.BuddyOp
+	s.SysCycles += ps.PTEWrites * k.cfg.Costs.PTEWrite
+	return s
+}
+
+// ErrNoMemory is returned when physical memory is exhausted.
+var ErrNoMemory = errors.New("vmm: out of physical memory")
+
+// desiredOrders decomposes a request of the given page count into the
+// virtual chunks the policy wants, relative to a region base that Mmap
+// aligns appropriately.
+func (k *Kernel) desiredChunks(baseVPN addr.VPN, pages uint64) []addr.Chunk {
+	switch k.cfg.Policy {
+	case PolicyBase4K, PolicyRMMEager:
+		// One bookkeeping chunk spanning the region, mapped at 4 KB.
+		return addr.SplitNAPOT(baseVPN, pages)
+	case PolicyTHP:
+		// 2 MB chunks plus a 4 KB-grain tail, as reservation-based THP.
+		return splitCapped(baseVPN, pages, addr.Order2M)
+	case Policy2MOnly:
+		return splitCapped(baseVPN, pages, addr.Order2M)
+	default: // TPS policies
+		if k.cfg.Sizing == SizingAggressive {
+			// Round the request up to the next power of two; beyond the
+			// size cap, tile cap-order chunks over the rounded request.
+			o := addr.OrderForSize(pages * addr.BasePageSize)
+			if o <= k.cfg.MaxTailoredOrder && o.Pages() >= pages {
+				return []addr.Chunk{{VPN: baseVPN, Order: o}}
+			}
+			max := k.cfg.MaxTailoredOrder
+			full := (pages + max.Pages() - 1) / max.Pages() * max.Pages()
+			return splitCapped(baseVPN, full, max)
+		}
+		return splitCappedNAPOT(baseVPN, pages, k.cfg.MaxTailoredOrder)
+	}
+}
+
+// splitCapped tiles [vpn, vpn+pages) with order-`cap` chunks and a NAPOT
+// tail for the remainder.
+func splitCapped(vpn addr.VPN, pages uint64, cap addr.Order) []addr.Chunk {
+	var out []addr.Chunk
+	for pages >= cap.Pages() && vpn.Aligned(cap) {
+		out = append(out, addr.Chunk{VPN: vpn, Order: cap})
+		vpn += addr.VPN(cap.Pages())
+		pages -= cap.Pages()
+	}
+	if pages > 0 {
+		out = append(out, addr.SplitNAPOT(vpn, pages)...)
+	}
+	return out
+}
+
+// splitCappedNAPOT is SplitNAPOT with chunk orders capped.
+func splitCappedNAPOT(vpn addr.VPN, pages uint64, cap addr.Order) []addr.Chunk {
+	var out []addr.Chunk
+	for _, c := range addr.SplitNAPOT(vpn, pages) {
+		if c.Order <= cap {
+			out = append(out, c)
+			continue
+		}
+		out = append(out, splitCapped(c.VPN, c.Order.Pages(), cap)...)
+	}
+	return out
+}
+
+// Mmap creates a new anonymous mapping of size bytes (rounded up to the
+// base page) and returns its virtual base address.
+func (k *Kernel) Mmap(size uint64, flags uint64) (addr.Virt, error) {
+	if size == 0 {
+		return 0, fmt.Errorf("vmm: zero-length mmap")
+	}
+	k.stats.Mmaps++
+	k.stats.SysCycles += k.cfg.Costs.Mmap
+	pages := (size + addr.BasePageSize - 1) / addr.BasePageSize
+	if k.cfg.Policy == Policy2MOnly {
+		// Exclusive 2 MB pages: the whole VMA occupies 2 MB multiples
+		// (the internal fragmentation Fig. 9 measures).
+		per := addr.Order2M.Pages()
+		pages = (pages + per - 1) / per * per
+	}
+
+	// Align the virtual base so the policy's chunking is achievable: to
+	// the largest chunk order the request can use (capped).
+	alignOrder := k.alignmentFor(pages)
+	base := k.nextVA.AlignUp(alignOrder)
+	v := &vma{start: base, end: base + addr.Virt(pages*addr.BasePageSize), flags: flags}
+	k.nextVA = v.end
+	baseVPN := base.PageNumber()
+
+	chunks := k.desiredChunks(baseVPN, pages)
+	for _, c := range chunks {
+		r, err := k.reserve(c)
+		if err != nil {
+			k.rollback(v)
+			return 0, err
+		}
+		v.reservations = append(v.reservations, r)
+	}
+	k.vmas = append(k.vmas, v)
+	sort.Slice(k.vmas, func(i, j int) bool { return k.vmas[i].start < k.vmas[j].start })
+
+	switch k.cfg.Policy {
+	case PolicyTPSEager, Policy2MOnly:
+		if err := k.eagerMapAll(v); err != nil {
+			return 0, err
+		}
+	case PolicyRMMEager:
+		if err := k.eagerMap4K(v); err != nil {
+			return 0, err
+		}
+	}
+	return base, nil
+}
+
+// alignmentFor picks the virtual alignment for a request of `pages` base
+// pages under the current policy.
+func (k *Kernel) alignmentFor(pages uint64) addr.Order {
+	var o addr.Order
+	switch k.cfg.Policy {
+	case Policy2MOnly:
+		o = addr.Order2M
+	case PolicyTHP:
+		if pages >= addr.Order2M.Pages() {
+			o = addr.Order2M
+		}
+	case PolicyBase4K:
+		o = 0
+	default:
+		// Largest power-of-two not exceeding the request (conservative)
+		// or covering it (aggressive), capped.
+		o = addr.OrderForSize(pages * addr.BasePageSize)
+		if k.cfg.Sizing == SizingConservative && o.Pages() > pages {
+			o--
+		}
+		if o > k.cfg.MaxTailoredOrder {
+			o = k.cfg.MaxTailoredOrder
+		}
+	}
+	if o < 0 {
+		o = 0
+	}
+	return o
+}
+
+// reserve creates the reservation-table entry for one virtual chunk,
+// acquiring backing physical blocks from the buddy allocator. If no block
+// of the chunk's order is free, it falls back to covering the chunk with
+// the largest available blocks ("leverage what contiguity it can", §I) —
+// optionally compacting first.
+func (k *Kernel) reserve(c addr.Chunk) (*reservation, error) {
+	r := newReservation(c.VPN, c.Order)
+	k.stats.Reservations++
+	k.stats.SysCycles += k.cfg.Costs.ReservationSetup
+
+	if k.cfg.Policy == PolicyBase4K {
+		// Plain demand paging reserves no physical memory up front;
+		// frames are allocated one at a time at fault.
+		r.lazyFrames = make(map[addr.VPN]addr.PFN)
+		return r, nil
+	}
+
+	vpn := c.VPN
+	remaining := c.Order.Pages()
+	for remaining > 0 {
+		want := addr.LargestOrderFor(vpn, remaining)
+		pfn, err := k.bud.Alloc(want)
+		if err != nil && k.cfg.CompactOnFailure {
+			k.Compact()
+			pfn, err = k.bud.Alloc(want)
+		}
+		got := want
+		if err != nil {
+			// Fragmented: take the largest block available below want.
+			var gotPFN addr.PFN
+			gotPFN, got, err = k.bud.AllocLargest(want)
+			if err != nil {
+				k.releaseReservation(r)
+				return nil, ErrNoMemory
+			}
+			pfn = gotPFN
+			k.stats.FallbackBlocks++
+		}
+		r.blocks = append(r.blocks, block{pfn: pfn, order: got, vpn: vpn})
+		vpn += addr.VPN(got.Pages())
+		remaining -= got.Pages()
+	}
+	return r, nil
+}
+
+// rollback releases a partially constructed VMA's reservations.
+func (k *Kernel) rollback(v *vma) {
+	for _, r := range v.reservations {
+		k.releaseReservation(r)
+	}
+}
+
+func (k *Kernel) releaseReservation(r *reservation) {
+	if !r.ownsPhys {
+		// A cowGroup owns the physical memory; it frees the blocks when
+		// the last sharer unmaps.
+		r.blocks = nil
+		r.lazyFrames = nil
+		return
+	}
+	for _, b := range r.blocks {
+		// Ignore errors: blocks may already be gone during rollback.
+		_ = k.bud.Free(b.pfn)
+	}
+	r.blocks = nil
+	for _, pfn := range r.lazyFrames {
+		_ = k.bud.Free(pfn)
+	}
+	r.lazyFrames = nil
+}
+
+// eagerMapAll maps every reservation of the VMA at its full backing-block
+// granularity (eager paging / 2M-only).
+func (k *Kernel) eagerMapAll(v *vma) error {
+	for _, r := range v.reservations {
+		for _, b := range r.blocks {
+			if err := k.mapPage(r, b.vpn, b.pfn, b.order, v.flags); err != nil {
+				return err
+			}
+			r.markRegionTouched(b.vpn, b.order.Pages())
+		}
+	}
+	return nil
+}
+
+// eagerMap4K maps every base page of the VMA individually and registers
+// the backing ranges with the range table (RMM).
+func (k *Kernel) eagerMap4K(v *vma) error {
+	for _, r := range v.reservations {
+		for _, b := range r.blocks {
+			for i := uint64(0); i < b.order.Pages(); i++ {
+				if err := k.mapPage(r, b.vpn+addr.VPN(i), b.pfn+addr.PFN(i), 0, v.flags); err != nil {
+					return err
+				}
+			}
+			r.markRegionTouched(b.vpn, b.order.Pages())
+			if k.ranger != nil {
+				// Ranges carry the PTE flags so Range-TLB-constructed
+				// entries have the pages' real permissions.
+				k.ranger.AddRange(b.vpn, b.order.Pages(), b.pfn, v.flags|pte.FlagWrite|pte.FlagUser)
+			}
+		}
+	}
+	return nil
+}
+
+// mapPage installs one writable page and charges zeroing cost.
+func (k *Kernel) mapPage(r *reservation, vpn addr.VPN, pfn addr.PFN, order addr.Order, flags uint64) error {
+	if err := k.mapPageRaw(r, vpn, pfn, order, flags|pte.FlagWrite|pte.FlagUser); err != nil {
+		return err
+	}
+	k.stats.ZeroedPages += order.Pages()
+	k.stats.SysCycles += k.cfg.Costs.ZeroPage * order.Pages()
+	return nil
+}
+
+// mapPageRaw installs one page with exactly the given PTE flags (the
+// copy-on-write path maps read-only, no zeroing).
+func (k *Kernel) mapPageRaw(r *reservation, vpn addr.VPN, pfn addr.PFN, order addr.Order, rawFlags uint64) error {
+	if err := k.table.Map(vpn.Addr(), pfn, order, rawFlags); err != nil {
+		return err
+	}
+	r.mapped[vpn] = order
+	return nil
+}
+
+// unmapPage removes one page from the table and bookkeeping (no TLB
+// shootdown: promotion merges keep stale smaller entries correct,
+// §III-C2; explicit unmaps shoot down separately).
+func (k *Kernel) unmapPage(r *reservation, vpn addr.VPN) error {
+	_, _, _, err := k.table.Unmap(vpn.Addr())
+	if err != nil {
+		return err
+	}
+	delete(r.mapped, vpn)
+	return nil
+}
+
+// findVMA locates the VMA containing v.
+func (k *Kernel) findVMA(v addr.Virt) *vma {
+	i := sort.Search(len(k.vmas), func(i int) bool { return k.vmas[i].end > v })
+	if i == len(k.vmas) || k.vmas[i].start > v {
+		return nil
+	}
+	return k.vmas[i]
+}
+
+// findReservation locates the reservation containing vpn within the VMA.
+func (v *vma) findReservation(vpn addr.VPN) *reservation {
+	i := sort.Search(len(v.reservations), func(i int) bool {
+		return v.reservations[i].end() > vpn
+	})
+	if i == len(v.reservations) || !v.reservations[i].contains(vpn) {
+		return nil
+	}
+	return v.reservations[i]
+}
+
+// Access translates a memory access, handling any demand fault. This is
+// the simulator's per-reference entry point.
+func (k *Kernel) Access(v addr.Virt, write bool) (mmu.Result, error) {
+	res, err := k.mmu.Translate(v, write)
+	if err == nil {
+		return res, nil
+	}
+	switch {
+	case errors.Is(err, pagetable.ErrNotMapped):
+		if err := k.Fault(v, write); err != nil {
+			return mmu.Result{}, err
+		}
+	case isWriteProtected(err):
+		if err := k.handleCOWFault(v); err != nil {
+			return mmu.Result{}, err
+		}
+	default:
+		return res, err
+	}
+	return k.mmu.Translate(v, write)
+}
+
+// Fault handles a demand page fault at v: allocate the base page from the
+// reservation and run the promotion cascade (§III-B1).
+func (k *Kernel) Fault(v addr.Virt, write bool) error {
+	vma := k.findVMA(v)
+	if vma == nil {
+		return fmt.Errorf("vmm: segfault at %#x (no VMA)", uint64(v))
+	}
+	vpn := v.PageNumber()
+	r := vma.findReservation(vpn)
+	if r == nil {
+		return fmt.Errorf("vmm: no reservation for %#x", uint64(v))
+	}
+	k.stats.Faults++
+	k.stats.SysCycles += k.cfg.Costs.Fault
+
+	if r.markTouched(vpn) {
+		k.stats.DemandPages++
+	}
+	// Already mapped (by an earlier promotion below threshold 1.0)?
+	if k.coveredBy(r, vpn) {
+		return nil
+	}
+	pfn, _, ok := r.frameFor(vpn)
+	if !ok {
+		if r.lazyFrames == nil {
+			return fmt.Errorf("vmm: reservation has no frame for %#x", uint64(v))
+		}
+		p, err := k.bud.Alloc(0)
+		if err != nil {
+			return ErrNoMemory
+		}
+		r.lazyFrames[vpn] = p
+		pfn = p
+	}
+	if err := k.mapPage(r, vpn, pfn, 0, vma.flags); err != nil {
+		return err
+	}
+	return k.promote(vma, r, vpn)
+}
+
+// coveredBy reports whether some mapped page in r covers vpn.
+func (k *Kernel) coveredBy(r *reservation, vpn addr.VPN) bool {
+	for o := addr.Order(0); o <= r.order; o++ {
+		if mo, ok := r.mapped[vpn.AlignDown(o)]; ok && mo >= o {
+			return true
+		}
+	}
+	return false
+}
+
+// promotionOrders returns the page orders the policy promotes through.
+func (k *Kernel) promotionOrders(r *reservation) []addr.Order {
+	switch k.cfg.Policy {
+	case PolicyTHP:
+		if r.order >= addr.Order2M {
+			return []addr.Order{addr.Order2M}
+		}
+		return nil
+	case PolicyTPS:
+		var out []addr.Order
+		for o := addr.Order(1); o <= r.order && o <= k.cfg.MaxTailoredOrder; o++ {
+			out = append(out, o)
+		}
+		return out
+	default:
+		return nil
+	}
+}
+
+// promotable reports whether a VMA's pages may grow (CoW sharing pins
+// page sizes: growing a shared page would widen sharing silently).
+func (v *vma) promotable() bool { return v.cow == nil }
+
+// promote runs the upgrade cascade after a fault at vpn: for each larger
+// candidate order, if the utilization of the candidate region reaches the
+// threshold (and the backing block is large enough), replace the region's
+// pages with one page of the candidate order. Growing a page only rewrites
+// PTEs — no data migration and no TLB shootdown is needed (§III-C2).
+func (k *Kernel) promote(vma *vma, r *reservation, vpn addr.VPN) error {
+	if !vma.promotable() {
+		return nil
+	}
+	for _, o := range k.promotionOrders(r) {
+		base := vpn.AlignDown(o)
+		if base < r.vpn || base+addr.VPN(o.Pages()) > r.end() {
+			break
+		}
+		// The backing block must cover the whole candidate region
+		// contiguously (fragmented reservations cap growth).
+		b, ok := r.blockFor(base)
+		if !ok || b.order < o || base+addr.VPN(o.Pages()) > b.vpn+addr.VPN(b.order.Pages()) {
+			break
+		}
+		// Respect physical alignment: the frame backing `base` must be
+		// o-aligned for a tailored PTE (blocks are naturally aligned, so
+		// alignment within the block follows from virtual alignment).
+		util := float64(r.touchedIn(base, o.Pages())) / float64(o.Pages())
+		if util < k.cfg.PromotionThreshold {
+			break
+		}
+		if mo, ok := r.mapped[base]; ok && mo >= o {
+			break // already at or above this size
+		}
+		if err := k.upgrade(vma, r, base, o); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// upgrade replaces everything mapped in [base, base+2^o) with a single
+// order-o page.
+func (k *Kernel) upgrade(vma *vma, r *reservation, base addr.VPN, o addr.Order) error {
+	end := base + addr.VPN(o.Pages())
+	newlyMapped := uint64(0)
+	for pos := base; pos < end; {
+		if mo, ok := r.mapped[pos]; ok {
+			if err := k.unmapPage(r, pos); err != nil {
+				return err
+			}
+			pos += addr.VPN(mo.Pages())
+		} else {
+			newlyMapped++
+			pos++
+		}
+	}
+	pfn, _, ok := r.frameFor(base)
+	if !ok {
+		return fmt.Errorf("vmm: upgrade lost frame at %#x", uint64(base))
+	}
+	if err := k.table.Map(base.Addr(), pfn, o, vma.flags|pte.FlagWrite|pte.FlagUser); err != nil {
+		return err
+	}
+	r.mapped[base] = o
+	// Pages mapped for the first time by this upgrade must be zeroed and
+	// count as utilized from now on.
+	if newlyMapped > 0 {
+		k.stats.ZeroedPages += newlyMapped
+		k.stats.SysCycles += k.cfg.Costs.ZeroPage * newlyMapped
+		r.markRegionTouched(base, o.Pages())
+	}
+	k.stats.Promotions++
+	k.stats.SysCycles += k.cfg.Costs.Promotion
+	return nil
+}
+
+// Munmap removes the VMA starting at base, freeing its physical memory,
+// dropping its ranges, and shooting down TLB state.
+func (k *Kernel) Munmap(base addr.Virt) error {
+	i := sort.Search(len(k.vmas), func(i int) bool { return k.vmas[i].start >= base })
+	if i == len(k.vmas) || k.vmas[i].start != base {
+		return fmt.Errorf("vmm: munmap of unmapped base %#x", uint64(base))
+	}
+	v := k.vmas[i]
+	k.stats.Munmaps++
+	k.stats.SysCycles += k.cfg.Costs.Mmap
+	for _, r := range v.reservations {
+		for vpn := range r.mapped {
+			if _, _, _, err := k.table.Unmap(vpn.Addr()); err != nil {
+				return err
+			}
+		}
+		r.mapped = nil
+		if k.ranger != nil {
+			for _, b := range r.blocks {
+				k.ranger.RemoveRange(b.vpn)
+			}
+		}
+		k.releaseReservation(r)
+	}
+	for _, b := range v.cowFrames {
+		_ = k.bud.Free(b.pfn)
+	}
+	v.cowFrames = nil
+	if v.cow != nil {
+		v.cow.refs--
+		if v.cow.refs == 0 {
+			for _, pfn := range v.cow.blocks {
+				_ = k.bud.Free(pfn)
+			}
+			v.cow.blocks = nil
+		}
+		v.cow = nil
+	}
+	if k.mmu != nil {
+		k.mmu.ShootdownRange(v.start.PageNumber(), v.end.PageNumber())
+	}
+	k.vmas = append(k.vmas[:i], k.vmas[i+1:]...)
+	return nil
+}
+
+// Compact invokes idealized memory compaction: the buddy allocator
+// migrates allocated blocks to coalesce free space; the kernel rewrites
+// every affected PTE and flushes stale translations.
+func (k *Kernel) Compact() {
+	reloc := k.bud.Compact()
+	k.stats.Compactions++
+	// Rewrite every mapped page by resolving its *current* frame through
+	// the block moves — this covers reservation-backed, lazily allocated,
+	// CoW-shared and CoW-private frames uniformly, including frames
+	// referenced from several VMAs.
+	for _, v := range k.vmas {
+		for _, r := range v.reservations {
+			for vpn, mo := range r.mapped {
+				cur, err := k.table.Lookup(vpn.Addr())
+				if err != nil {
+					continue
+				}
+				newPFN := reloc.Resolve(cur.PFN)
+				if newPFN == cur.PFN {
+					continue
+				}
+				_ = k.table.Relocate(vpn.Addr(), newPFN)
+				k.stats.RelocatedPages += mo.Pages()
+			}
+			// Ownership bookkeeping follows the moves.
+			for bi := range r.blocks {
+				r.blocks[bi].pfn = reloc.Resolve(r.blocks[bi].pfn)
+			}
+			for vpn, pfn := range r.lazyFrames {
+				r.lazyFrames[vpn] = reloc.Resolve(pfn)
+			}
+		}
+		for bi := range v.cowFrames {
+			v.cowFrames[bi].pfn = reloc.Resolve(v.cowFrames[bi].pfn)
+		}
+	}
+	// CoW groups hold block addresses for the final free: follow the
+	// relocation once per group.
+	seen := make(map[*cowGroup]bool)
+	for _, v := range k.vmas {
+		g := v.cow
+		if g == nil || seen[g] {
+			continue
+		}
+		seen[g] = true
+		for i, pfn := range g.blocks {
+			g.blocks[i] = reloc.Resolve(pfn)
+		}
+	}
+	if k.mmu != nil {
+		k.mmu.FlushAll()
+	}
+}
+
+// ConsolidateReservations is the "guided" half of incremental guided
+// memory compaction (§IV-B): for every reservation whose chunk is backed
+// by multiple fallback blocks (fragmentation at allocation time), try to
+// acquire a single block of the full chunk order — possible once
+// compaction has coalesced free space — and migrate the mapped pages into
+// it. MergePages can then grow the now-contiguous pages back to the
+// tailored sizes the fragmented allocation denied.
+func (k *Kernel) ConsolidateReservations() {
+	if k.cfg.Policy != PolicyTPS && k.cfg.Policy != PolicyTPSEager {
+		return
+	}
+	for _, v := range k.vmas {
+		if v.cow != nil {
+			continue // consolidating shared frames would break aliases
+		}
+		for _, r := range v.reservations {
+			if len(r.blocks) <= 1 || !r.ownsPhys {
+				continue
+			}
+			newPFN, err := k.bud.Alloc(r.order)
+			if err != nil {
+				continue // still not enough contiguity; try next time
+			}
+			// Migrate every mapped page to its slot in the new block.
+			ok := true
+			for vpn, mo := range r.mapped {
+				dst := newPFN + addr.PFN(vpn-r.vpn)
+				if err := k.table.Relocate(vpn.Addr(), dst); err != nil {
+					ok = false
+					break
+				}
+				k.stats.RelocatedPages += mo.Pages()
+				k.stats.SysCycles += k.cfg.Costs.CopyPage * mo.Pages()
+			}
+			if !ok {
+				// Roll back is not needed for the pages already moved —
+				// Relocate only fails on alignment, which cannot happen
+				// for base-order destinations; release the new block.
+				_ = k.bud.Free(newPFN)
+				continue
+			}
+			for _, b := range r.blocks {
+				_ = k.bud.Free(b.pfn)
+			}
+			r.blocks = []block{{pfn: newPFN, order: r.order, vpn: r.vpn}}
+			if k.mmu != nil {
+				k.mmu.ShootdownRange(r.vpn, r.end())
+			}
+		}
+	}
+}
+
+// MergePages performs the §III-B3 optimization: within each VMA, adjacent
+// same-order buddy pages whose frames are contiguous, aligned, and
+// identically-permissioned merge into one page of the next order,
+// repeating to a fixed point. No shootdowns are needed: the old entries
+// remain correct for their portions of the larger page (§III-C2).
+func (k *Kernel) MergePages() {
+	if k.cfg.Policy == PolicyBase4K || k.cfg.Policy == PolicyRMMEager {
+		return // the baseline OSes do not merge
+	}
+	maxOrder := k.cfg.MaxTailoredOrder
+	for _, v := range k.vmas {
+		for _, r := range v.reservations {
+			for changed := true; changed; {
+				changed = false
+				// Snapshot keys: we mutate r.mapped inside.
+				starts := make([]addr.VPN, 0, len(r.mapped))
+				for vpn := range r.mapped {
+					starts = append(starts, vpn)
+				}
+				sort.Slice(starts, func(i, j int) bool { return starts[i] < starts[j] })
+				for _, vpn := range starts {
+					o, ok := r.mapped[vpn]
+					if !ok || o >= maxOrder {
+						continue
+					}
+					if !vpn.Aligned(o + 1) {
+						continue
+					}
+					buddyVPN := vpn + addr.VPN(o.Pages())
+					bo, ok := r.mapped[buddyVPN]
+					if !ok || bo != o {
+						continue
+					}
+					a, errA := k.table.Lookup(vpn.Addr())
+					b, errB := k.table.Lookup(buddyVPN.Addr())
+					if errA != nil || errB != nil {
+						continue
+					}
+					if b.PFN != a.PFN+addr.PFN(o.Pages()) || !a.PFN.Aligned(o+1) {
+						continue
+					}
+					if !pte.PermissionsMatch(pte.Entry(a.Flags), pte.Entry(b.Flags)) {
+						continue
+					}
+					if err := k.unmapPage(r, vpn); err != nil {
+						continue
+					}
+					if err := k.unmapPage(r, buddyVPN); err != nil {
+						continue
+					}
+					if err := k.table.Map(vpn.Addr(), a.PFN, o+1, v.flags|pte.FlagWrite|pte.FlagUser); err != nil {
+						// Should not happen; restore the smaller pages.
+						k.table.Map(vpn.Addr(), a.PFN, o, v.flags|pte.FlagWrite|pte.FlagUser)
+						k.table.Map(buddyVPN.Addr(), b.PFN, o, v.flags|pte.FlagWrite|pte.FlagUser)
+						r.mapped[vpn] = o
+						r.mapped[buddyVPN] = o
+						continue
+					}
+					r.mapped[vpn] = o + 1
+					k.stats.PageMerges++
+					changed = true
+				}
+			}
+		}
+	}
+}
+
+// PageSizeCensus counts currently mapped pages per order (Fig. 18).
+func (k *Kernel) PageSizeCensus() map[addr.Order]uint64 {
+	census := make(map[addr.Order]uint64)
+	k.table.MappedPages(func(_ addr.VPN, _ addr.PFN, o addr.Order, _ uint64) {
+		census[o]++
+	})
+	return census
+}
+
+// MappedBasePages returns the total base pages currently mapped (the
+// memory-footprint metric of Fig. 9).
+func (k *Kernel) MappedBasePages() uint64 {
+	var n uint64
+	k.table.MappedPages(func(_ addr.VPN, _ addr.PFN, o addr.Order, _ uint64) {
+		n += o.Pages()
+	})
+	return n
+}
+
+// ReservedBasePages returns the base pages held by reservations (free
+// nor in-use, §III-B1).
+func (k *Kernel) ReservedBasePages() uint64 {
+	var n uint64
+	for _, v := range k.vmas {
+		for _, r := range v.reservations {
+			for _, b := range r.blocks {
+				n += b.order.Pages()
+			}
+		}
+	}
+	return n
+}

@@ -1,0 +1,141 @@
+package vmm
+
+import (
+	"math/bits"
+	"sort"
+
+	"tps/internal/addr"
+)
+
+// block is one physical allocation backing part of a reservation.
+type block struct {
+	pfn   addr.PFN   // first frame (as returned by the buddy allocator)
+	order addr.Order // block order
+	vpn   addr.VPN   // first virtual page the block backs
+}
+
+// reservation is one entry of the paging reservation table (§III-B1): a
+// virtual chunk [vpn, vpn+2^order) backed by reserved physical memory that
+// is neither free nor fully in use. Under fragmentation a chunk may be
+// backed by several smaller blocks rather than one matching block; pages
+// can then only grow to each backing block's size.
+type reservation struct {
+	vpn   addr.VPN
+	order addr.Order
+
+	// blocks cover the chunk's virtual range in ascending vpn order.
+	blocks []block
+
+	// touched marks demanded base pages (one bit each).
+	touched      []uint64
+	touchedCount uint64
+
+	// mapped tracks currently installed pages within the chunk:
+	// page start vpn -> page order.
+	mapped map[addr.VPN]addr.Order
+
+	// lazyFrames backs pages allocated frame-by-frame at fault time
+	// (PolicyBase4K has no up-front reservation blocks). Each entry is an
+	// order-0 buddy block owned by this reservation.
+	lazyFrames map[addr.VPN]addr.PFN
+
+	// ownsPhys reports whether this reservation frees its blocks and
+	// lazy frames at release. Copy-on-write clones share physical memory
+	// owned by a cowGroup instead (§III-C3).
+	ownsPhys bool
+}
+
+func newReservation(vpn addr.VPN, order addr.Order) *reservation {
+	words := (order.Pages() + 63) / 64
+	return &reservation{
+		vpn:      vpn,
+		order:    order,
+		touched:  make([]uint64, words),
+		mapped:   make(map[addr.VPN]addr.Order),
+		ownsPhys: true,
+	}
+}
+
+// end returns the first VPN past the reservation.
+func (r *reservation) end() addr.VPN { return r.vpn + addr.VPN(r.order.Pages()) }
+
+// contains reports whether the vpn falls inside the reservation.
+func (r *reservation) contains(vpn addr.VPN) bool { return vpn >= r.vpn && vpn < r.end() }
+
+// markTouched sets the touched bit for vpn; it reports whether the bit was
+// newly set.
+func (r *reservation) markTouched(vpn addr.VPN) bool {
+	i := uint64(vpn - r.vpn)
+	w, b := i/64, i%64
+	if r.touched[w]&(1<<b) != 0 {
+		return false
+	}
+	r.touched[w] |= 1 << b
+	r.touchedCount++
+	return true
+}
+
+// markRegionTouched sets all bits in [start, start+pages); promotion below
+// threshold 1.0 maps untouched pages, which count as utilized thereafter.
+func (r *reservation) markRegionTouched(start addr.VPN, pages uint64) {
+	for i := uint64(0); i < pages; i++ {
+		r.markTouched(start + addr.VPN(i))
+	}
+}
+
+// touchedIn counts touched base pages in [start, start+pages).
+func (r *reservation) touchedIn(start addr.VPN, pages uint64) uint64 {
+	off := uint64(start - r.vpn)
+	var n uint64
+	// Word-at-a-time popcount over the aligned promotion regions the
+	// cascade checks (pages is a power of two and off is pages-aligned).
+	if off%64 == 0 && pages%64 == 0 {
+		for w := off / 64; w < (off+pages)/64; w++ {
+			n += uint64(bits.OnesCount64(r.touched[w]))
+		}
+		return n
+	}
+	for i := uint64(0); i < pages; i++ {
+		j := off + i
+		if r.touched[j/64]&(1<<(j%64)) != 0 {
+			n++
+		}
+	}
+	return n
+}
+
+// frameFor returns the physical frame backing vpn and the order of the
+// backing block (the maximum page size this vpn can ever grow to inside
+// this reservation).
+func (r *reservation) frameFor(vpn addr.VPN) (addr.PFN, addr.Order, bool) {
+	if pfn, ok := r.lazyFrames[vpn]; ok {
+		return pfn, 0, true
+	}
+	// blocks are sorted by vpn; binary search for the covering block.
+	i := sort.Search(len(r.blocks), func(i int) bool {
+		return r.blocks[i].vpn > vpn
+	}) - 1
+	if i < 0 {
+		return 0, 0, false
+	}
+	b := r.blocks[i]
+	if vpn >= b.vpn+addr.VPN(b.order.Pages()) {
+		return 0, 0, false
+	}
+	return b.pfn + addr.PFN(vpn-b.vpn), b.order, true
+}
+
+// blockFor returns the backing block containing vpn.
+func (r *reservation) blockFor(vpn addr.VPN) (block, bool) {
+	i := sort.Search(len(r.blocks), func(i int) bool {
+		return r.blocks[i].vpn > vpn
+	}) - 1
+	if i < 0 {
+		return block{}, false
+	}
+	b := r.blocks[i]
+	if vpn >= b.vpn+addr.VPN(b.order.Pages()) {
+		return block{}, false
+	}
+	return b, true
+}

@@ -1,0 +1,171 @@
+package vmm
+
+import (
+	"math/rand"
+	"testing"
+
+	"tps/internal/addr"
+	"tps/internal/buddy"
+	"tps/internal/mmu"
+)
+
+// The shadow-model stress test: drive the kernel through a random sequence
+// of mmap / touch / write / clone / munmap / compact / consolidate / merge
+// operations while maintaining an independent model of what every byte's
+// identity should be, then verify that translation always routes reads to
+// the frame holding the right logical content.
+//
+// Because the simulator does not move data, "content" is modeled by
+// logical ownership: every (region generation, page index) pair gets a
+// unique ID stamped into a shadow map keyed by physical frame. Reads must
+// find their ID; CoW writes must re-stamp privately.
+
+type shadowRegion struct {
+	base  addr.Virt
+	pages uint64
+	ids   []uint64 // logical content id per page
+}
+
+type shadowWorld struct {
+	t       *testing.T
+	k       *Kernel
+	rng     *rand.Rand
+	regions []*shadowRegion
+	// frameContent maps each base frame to the content id last written
+	// into it.
+	frameContent map[addr.PFN]uint64
+	nextID       uint64
+}
+
+func (w *shadowWorld) writePage(r *shadowRegion, page uint64) {
+	v := r.base + addr.Virt(page*addr.BasePageSize)
+	res, err := w.k.Access(v, true)
+	if err != nil {
+		w.t.Fatalf("write %#x: %v", uint64(v), err)
+	}
+	w.nextID++
+	r.ids[page] = w.nextID
+	w.frameContent[res.Phys.PageNumber()] = w.nextID
+}
+
+func (w *shadowWorld) readPage(r *shadowRegion, page uint64) {
+	v := r.base + addr.Virt(page*addr.BasePageSize)
+	res, err := w.k.Access(v, false)
+	if err != nil {
+		w.t.Fatalf("read %#x: %v", uint64(v), err)
+	}
+	want := r.ids[page]
+	if want == 0 {
+		return // never written; content undefined
+	}
+	got := w.frameContent[res.Phys.PageNumber()]
+	if got != want {
+		w.t.Fatalf("read %#x: frame %#x holds id %d, want %d",
+			uint64(v), uint64(res.Phys.PageNumber()), got, want)
+	}
+}
+
+// relabel updates the shadow frame map after operations that move frames
+// (compaction/consolidation): re-resolve every written page's frame.
+func (w *shadowWorld) relabel() {
+	w.frameContent = make(map[addr.PFN]uint64)
+	for _, r := range w.regions {
+		for p := uint64(0); p < r.pages; p++ {
+			if r.ids[p] == 0 {
+				continue
+			}
+			v := r.base + addr.Virt(p*addr.BasePageSize)
+			res, err := w.k.Access(v, false)
+			if err != nil {
+				w.t.Fatalf("relabel %#x: %v", uint64(v), err)
+			}
+			// Shared frames may receive the same id from several
+			// regions; ids of sharers are equal by construction.
+			w.frameContent[res.Phys.PageNumber()] = r.ids[p]
+		}
+	}
+}
+
+func TestKernelShadowModelStress(t *testing.T) {
+	for _, policy := range []Policy{PolicyTPS, PolicyTHP, PolicyBase4K} {
+		policy := policy
+		t.Run(policy.String(), func(t *testing.T) {
+			cfg := DefaultConfig(policy)
+			bud := newTestBuddy()
+			k := New(cfg, bud)
+			org := mmu.OrgTPS
+			if policy != PolicyTPS {
+				org = mmu.OrgConventional
+			}
+			m := mmu.New(mmu.DefaultConfig(org), k.Table(), nil, nil)
+			k.AttachMMU(m)
+
+			w := &shadowWorld{
+				t: t, k: k, rng: rand.New(rand.NewSource(77)),
+				frameContent: make(map[addr.PFN]uint64),
+			}
+			for step := 0; step < 4000; step++ {
+				switch op := w.rng.Intn(100); {
+				case op < 12 && len(w.regions) < 24: // mmap
+					pages := uint64(1 + w.rng.Intn(256))
+					base, err := k.Mmap(pages*addr.BasePageSize, 0)
+					if err != nil {
+						continue
+					}
+					w.regions = append(w.regions, &shadowRegion{
+						base: base, pages: pages, ids: make([]uint64, pages),
+					})
+				case op < 55 && len(w.regions) > 0: // write (CoW-faulting if shared)
+					r := w.regions[w.rng.Intn(len(w.regions))]
+					w.writePage(r, uint64(w.rng.Intn(int(r.pages))))
+				case op < 90 && len(w.regions) > 0: // read
+					r := w.regions[w.rng.Intn(len(w.regions))]
+					w.readPage(r, uint64(w.rng.Intn(int(r.pages))))
+				case op < 92 && len(w.regions) > 1: // munmap one region
+					i := w.rng.Intn(len(w.regions))
+					r := w.regions[i]
+					if err := k.Munmap(r.base); err != nil {
+						t.Fatalf("munmap: %v", err)
+					}
+					w.regions = append(w.regions[:i], w.regions[i+1:]...)
+					w.relabel()
+				case op < 93 && policy == PolicyTPS && len(w.regions) > 0 && len(w.regions) < 24: // CoW clone
+					r := w.regions[w.rng.Intn(len(w.regions))]
+					clone, err := k.CloneCOW(r.base)
+					if err != nil {
+						t.Fatalf("clone: %v", err)
+					}
+					nr := &shadowRegion{base: clone, pages: r.pages, ids: make([]uint64, r.pages)}
+					copy(nr.ids, r.ids) // shared frames: identical content
+					w.regions = append(w.regions, nr)
+				case op < 96: // compaction daemon pass
+					k.Compact()
+					k.ConsolidateReservations()
+					k.MergePages()
+					w.relabel()
+				default: // full re-verification sweep
+					for _, r := range w.regions {
+						for p := uint64(0); p < r.pages; p += 7 {
+							w.readPage(r, p)
+						}
+					}
+				}
+			}
+			if err := bud.CheckInvariants(); err != nil {
+				t.Fatal(err)
+			}
+			// Tear everything down: no leaks.
+			for _, r := range w.regions {
+				if err := k.Munmap(r.base); err != nil {
+					t.Fatal(err)
+				}
+			}
+			if bud.FreePages() != bud.TotalPages() {
+				t.Errorf("leak: %d != %d", bud.FreePages(), bud.TotalPages())
+			}
+		})
+	}
+}
+
+// newTestBuddy sizes physical memory for the stress test (512 MB).
+func newTestBuddy() *buddy.Allocator { return buddy.New(1 << 17) }

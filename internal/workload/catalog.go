@@ -1,0 +1,124 @@
+package workload
+
+import "tps/internal/trace"
+
+// Footprints follow the SPEC CPU 2017 speed suite and the paper's
+// big-memory kernels: several gigabytes, so the evaluation-relevant
+// capacity relations hold against the Table I hierarchy — working sets
+// exceed the 4 KB L1 TLB reach (256 KB), the 2 MB L1 TLB reach (64 MB),
+// the 4 KB STLB reach (6 MB) and, for the largest workloads, the 2 MB STLB
+// reach (3 GB) that determines baseline page-walk frequency.
+const (
+	gb = uint64(1) << 30
+	mb = uint64(1) << 20
+	kb = uint64(1) << 10
+)
+
+func catalog() []Workload {
+	return []Workload{
+		// --- SPEC CPU 2017, TLB-intensive subset (Fig. 8: MPKI > 5) ---
+		{
+			Name: "mcf", Class: SPEC17, TLBIntensive: true, FootprintBytes: 4 * gb,
+			Run: func(s trace.Sink, refs uint64, seed int64) error {
+				return chase(s, refs, rng(seed, "mcf"), 4*gb, 256, 4, 0.15, 0.35)
+			},
+		},
+		{
+			Name: "omnetpp", Class: SPEC17, TLBIntensive: true, FootprintBytes: 3584 * mb,
+			Run: func(s trace.Sink, refs uint64, seed int64) error {
+				return chase(s, refs, rng(seed, "omnetpp"), 3584*mb, 512, 6, 0.25, 0.55)
+			},
+		},
+		{
+			Name: "xalancbmk", Class: SPEC17, TLBIntensive: true, FootprintBytes: 3328 * mb,
+			Run: func(s trace.Sink, refs uint64, seed int64) error {
+				return chase(s, refs, rng(seed, "xalancbmk"), 3328*mb, 128, 8, 0.05, 0.6)
+			},
+		},
+		{
+			Name: "gcc", Class: SPEC17, TLBIntensive: true, FootprintBytes: 208 * mb,
+			Run: func(s trace.Sink, refs uint64, seed int64) error {
+				// Many distinct pass-scoped allocations, most below or
+				// barely above 2 MB: starves THP of promotions and
+				// stresses RMM's 32-entry Range TLB.
+				return phased(s, refs, rng(seed, "gcc"), 112, 128*kb, 4*mb, 6)
+			},
+		},
+		{
+			Name: "cactuBSSN", Class: SPEC17, TLBIntensive: true, FootprintBytes: 3 * gb,
+			Run: func(s trace.Sink, refs uint64, seed int64) error {
+				return stencil3d(s, refs, 3*gb, 24, 512, 64, 5, 0.15, rng(seed, "cactuBSSN"))
+			},
+		},
+		{
+			Name: "lbm", Class: SPEC17, TLBIntensive: true, FootprintBytes: 3 * gb,
+			Run: func(s trace.Sink, refs uint64, seed int64) error {
+				return stream(s, refs, 3*gb, 19, 64, 4, 0.5, 0.1, rng(seed, "lbm"))
+			},
+		},
+		{
+			Name: "fotonik3d", Class: SPEC17, TLBIntensive: true, FootprintBytes: 3 * gb,
+			Run: func(s trace.Sink, refs uint64, seed int64) error {
+				return stencil3d(s, refs, 3*gb, 6, 256, 96, 6, 0.2, rng(seed, "fotonik3d"))
+			},
+		},
+		{
+			Name: "roms", Class: SPEC17, TLBIntensive: true, FootprintBytes: 3 * gb,
+			Run: func(s trace.Sink, refs uint64, seed int64) error {
+				return stream(s, refs, 3*gb, 8, 64, 6, 0.3, 0.15, rng(seed, "roms"))
+			},
+		},
+		// --- Big-data kernels (all TLB-intensive) ---
+		{
+			Name: "gups", Class: BigData, TLBIntensive: true, FootprintBytes: 4 * gb,
+			Run: func(s trace.Sink, refs uint64, seed int64) error {
+				return gups(s, refs, rng(seed, "gups"), 4*gb, 3)
+			},
+		},
+		{
+			Name: "graph500", Class: BigData, TLBIntensive: true, FootprintBytes: 4608 * mb,
+			Run: func(s trace.Sink, refs uint64, seed int64) error {
+				// 64M vertices, average degree 8: xadj 512MB + adj 4GB +
+				// parent 512MB.
+				return bfs(s, refs, rng(seed, "graph500"), 64<<20, 8, 3)
+			},
+		},
+		{
+			Name: "xsbench", Class: BigData, TLBIntensive: true, FootprintBytes: 5 * gb,
+			Run: func(s trace.Sink, refs uint64, seed int64) error {
+				return binarySearchLookups(s, refs, rng(seed, "xsbench"), 5*gb, 4)
+			},
+		},
+		{
+			Name: "dbx1000", Class: BigData, TLBIntensive: true, FootprintBytes: 4 * gb,
+			Run: func(s trace.Sink, refs uint64, seed int64) error {
+				return transactions(s, refs, rng(seed, "dbx1000"), 4*gb, 5)
+			},
+		},
+		// --- SPEC CPU 2017, low-MPKI remainder (profiled for Fig. 8 only) ---
+		lowMPKI("perlbench", 160*kb, 24*mb, 0.95, 10),
+		lowMPKI("bwaves", 192*kb, 96*mb, 0.9, 14),
+		lowMPKI("wrf", 192*kb, 64*mb, 0.92, 12),
+		lowMPKI("x264", 128*kb, 16*mb, 0.97, 12),
+		lowMPKI("cam4", 160*kb, 48*mb, 0.93, 12),
+		lowMPKI("deepsjeng", 96*kb, 6*mb, 0.97, 16),
+		lowMPKI("imagick", 128*kb, 24*mb, 0.96, 18),
+		lowMPKI("leela", 64*kb, 4*mb, 0.98, 16),
+		lowMPKI("nab", 96*kb, 12*mb, 0.95, 14),
+		lowMPKI("exchange2", 48*kb, 1*mb, 0.99, 20),
+		lowMPKI("povray", 64*kb, 8*mb, 0.97, 16),
+		lowMPKI("blender", 128*kb, 24*mb, 0.94, 12),
+		lowMPKI("xz", 192*kb, 128*mb, 0.93, 9),
+	}
+}
+
+// lowMPKI builds a cache-friendly hot/cold profile: the hot set fits the
+// 64-entry L1 TLB, so only the occasional cold sweep misses.
+func lowMPKI(name string, hot, cold uint64, hotFrac float64, gap uint32) Workload {
+	return Workload{
+		Name: name, Class: SPEC17, TLBIntensive: false, FootprintBytes: hot + cold,
+		Run: func(s trace.Sink, refs uint64, seed int64) error {
+			return hotCold(s, refs, rng(seed, name), hot, cold, hotFrac, gap)
+		},
+	}
+}

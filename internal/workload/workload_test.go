@@ -1,0 +1,260 @@
+package workload
+
+import (
+	"testing"
+
+	"tps/internal/addr"
+	"tps/internal/trace"
+)
+
+// memSink is a no-hardware sink: it allocates bump VAs and records refs.
+type memSink struct {
+	next      addr.Virt
+	regions   map[addr.Virt]uint64
+	refs      []trace.Ref
+	limit     int // cap on retained refs (0 = all)
+	mainStart int // index of the first main-phase ref (-1 if never)
+	initRefs  int // refs before the main phase
+}
+
+func newMemSink() *memSink {
+	return &memSink{next: 1 << 40, regions: make(map[addr.Virt]uint64), mainStart: -1}
+}
+
+// Phase implements trace.PhaseSink: init-phase refs are counted, then
+// discarded, so only the measured phase is retained.
+func (m *memSink) Phase(name string) {
+	if name == trace.MainPhase && m.mainStart < 0 {
+		m.initRefs = len(m.refs)
+		m.refs = nil
+		m.mainStart = 0
+	}
+}
+
+// mainRefs returns the measured-phase references.
+func (m *memSink) mainRefs() []trace.Ref { return m.refs }
+
+func (m *memSink) Mmap(size uint64) (addr.Virt, error) {
+	base := m.next.AlignUp(addr.Order1G) // generous alignment
+	m.regions[base] = size
+	m.next = base + addr.Virt(size)
+	return base, nil
+}
+
+func (m *memSink) Munmap(base addr.Virt) error {
+	delete(m.regions, base)
+	return nil
+}
+
+func (m *memSink) Ref(r trace.Ref) error {
+	if m.limit == 0 || len(m.refs) < m.limit {
+		m.refs = append(m.refs, r)
+	}
+	return nil
+}
+
+// inRegion reports whether a ref lands inside some mapped region.
+func (m *memSink) inRegion(a addr.Virt) bool {
+	for base, size := range m.regions {
+		if a >= base && a < base+addr.Virt(size) {
+			return true
+		}
+	}
+	return false
+}
+
+func TestCatalogNamesUniqueAndComplete(t *testing.T) {
+	seen := map[string]bool{}
+	for _, w := range All() {
+		if seen[w.Name] {
+			t.Errorf("duplicate workload %q", w.Name)
+		}
+		seen[w.Name] = true
+		if w.Run == nil {
+			t.Errorf("%s has no Run", w.Name)
+		}
+		if w.FootprintBytes == 0 {
+			t.Errorf("%s has no footprint", w.Name)
+		}
+	}
+	// The paper's eval suite: 8 SPEC + 4 big data.
+	if got := len(EvalSuite()); got != 12 {
+		t.Errorf("eval suite size=%d, want 12", got)
+	}
+	for _, name := range []string{"gups", "graph500", "xsbench", "dbx1000", "gcc", "mcf"} {
+		if _, ok := ByName(name); !ok {
+			t.Errorf("missing workload %q", name)
+		}
+	}
+	if _, ok := ByName("nonexistent"); ok {
+		t.Error("ByName found a ghost")
+	}
+}
+
+func TestAllWorkloadsEmitRequestedRefs(t *testing.T) {
+	const want = 3000
+	for _, w := range All() {
+		s := newMemSink()
+		if err := w.Run(s, want, 1); err != nil {
+			t.Fatalf("%s: %v", w.Name, err)
+		}
+		if s.mainStart < 0 {
+			t.Fatalf("%s never announced its main phase", w.Name)
+		}
+		got := len(s.mainRefs())
+		// Generators may overshoot slightly (they finish a structural
+		// unit) but never undershoot materially.
+		if got < want-200 || got > want+200 {
+			t.Errorf("%s emitted %d main refs, want ~%d", w.Name, got, want)
+		}
+		// The init sweep touches every page of the footprint once.
+		wantInit := int(w.FootprintBytes / addr.BasePageSize)
+		if s.initRefs < wantInit*9/10 {
+			t.Errorf("%s init refs=%d, want >= ~%d", w.Name, s.initRefs, wantInit)
+		}
+	}
+}
+
+func TestAllRefsLandInMappedRegions(t *testing.T) {
+	for _, w := range All() {
+		s := newMemSink()
+		if err := w.Run(s, 2000, 7); err != nil {
+			t.Fatalf("%s: %v", w.Name, err)
+		}
+		for i, r := range s.refs {
+			if !s.inRegion(r.Addr) {
+				t.Fatalf("%s ref %d at %#x outside all regions", w.Name, i, uint64(r.Addr))
+			}
+		}
+	}
+}
+
+func TestDeterministicForSeed(t *testing.T) {
+	for _, w := range EvalSuite() {
+		a, b := newMemSink(), newMemSink()
+		if err := w.Run(a, 1500, 42); err != nil {
+			t.Fatal(err)
+		}
+		if err := w.Run(b, 1500, 42); err != nil {
+			t.Fatal(err)
+		}
+		if len(a.refs) != len(b.refs) {
+			t.Fatalf("%s: lengths differ", w.Name)
+		}
+		for i := range a.refs {
+			if a.refs[i] != b.refs[i] {
+				t.Fatalf("%s: ref %d differs: %+v vs %+v", w.Name, i, a.refs[i], b.refs[i])
+			}
+		}
+	}
+}
+
+func TestSeedChangesStream(t *testing.T) {
+	w, _ := ByName("gups")
+	a, b := newMemSink(), newMemSink()
+	w.Run(a, 1000, 1)
+	w.Run(b, 1000, 2)
+	same := 0
+	for i := range a.refs {
+		if a.refs[i].Addr == b.refs[i].Addr {
+			same++
+		}
+	}
+	if same > len(a.refs)/2 {
+		t.Errorf("different seeds produced %d/%d identical addresses", same, len(a.refs))
+	}
+}
+
+func TestPointerChaseIsDependent(t *testing.T) {
+	w, _ := ByName("mcf")
+	s := newMemSink()
+	w.Run(s, 1000, 3)
+	for i, r := range s.refs {
+		if !r.Dep {
+			t.Fatalf("mcf ref %d not dependent", i)
+		}
+	}
+}
+
+func TestGUPSIsRandomRMW(t *testing.T) {
+	w, _ := ByName("gups")
+	s := newMemSink()
+	w.Run(s, 2000, 5)
+	writes := 0
+	pages := map[addr.VPN]bool{}
+	for i := 0; i < len(s.refs)-1; i += 2 {
+		rd, wr := s.refs[i], s.refs[i+1]
+		if rd.Write || !wr.Write {
+			t.Fatalf("ref pair %d not read+write", i)
+		}
+		if rd.Addr != wr.Addr {
+			t.Fatalf("RMW pair %d addresses differ", i)
+		}
+		pages[rd.Addr.PageNumber()] = true
+	}
+	for _, r := range s.refs {
+		if r.Write {
+			writes++
+		}
+	}
+	if writes != len(s.refs)/2 {
+		t.Errorf("writes=%d of %d", writes, len(s.refs))
+	}
+	// Random over 256 MB: nearly every update hits a distinct 4K page.
+	if len(pages) < len(s.refs)/3 {
+		t.Errorf("GUPS touched only %d distinct pages over %d refs", len(pages), len(s.refs))
+	}
+}
+
+func TestStreamingHasSpatialLocality(t *testing.T) {
+	w, _ := ByName("lbm")
+	s := newMemSink()
+	w.Run(s, 4000, 11)
+	pages := map[addr.VPN]bool{}
+	for _, r := range s.refs {
+		pages[r.Addr.PageNumber()] = true
+	}
+	// Sequential streams revisit each page ~64 times (4K/64B stride);
+	// the ~10% indirect gathers add isolated pages.
+	if got := len(pages); got > len(s.refs)/4 {
+		t.Errorf("lbm touched %d pages in %d refs: insufficient locality", got, len(s.refs))
+	}
+}
+
+func TestGCCMapsManyRegions(t *testing.T) {
+	w, _ := ByName("gcc")
+	s := newMemSink()
+	w.Run(s, 1000, 9)
+	if len(s.regions) < 100 {
+		t.Errorf("gcc mapped only %d regions", len(s.regions))
+	}
+}
+
+func TestLowMPKIWorkloadsAreHotDominated(t *testing.T) {
+	w, _ := ByName("leela")
+	s := newMemSink()
+	w.Run(s, 5000, 13)
+	pages := map[addr.VPN]int{}
+	for _, r := range s.refs {
+		pages[r.Addr.PageNumber()]++
+	}
+	// The hot set is tiny: few distinct pages absorb most accesses.
+	if len(pages) > 1500 {
+		t.Errorf("leela touched %d pages; expected a small hot set", len(pages))
+	}
+}
+
+func TestCountingSink(t *testing.T) {
+	base := newMemSink()
+	c := &trace.CountingSink{Sink: base}
+	w, _ := ByName("dbx1000")
+	if err := w.Run(c, 2000, 1); err != nil {
+		t.Fatal(err)
+	}
+	if c.Refs == 0 || c.Instructions <= c.Refs {
+		t.Errorf("counting: refs=%d instrs=%d", c.Refs, c.Instructions)
+	}
+	if c.Writes == 0 || c.Writes >= c.Refs {
+		t.Errorf("writes=%d of %d", c.Writes, c.Refs)
+	}
+}

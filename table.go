@@ -1,0 +1,74 @@
+package tps
+
+import (
+	"fmt"
+	"strings"
+)
+
+// Table is a rendered experiment result: the rows/series a paper figure or
+// table reports, in a text form suitable for terminals and logs.
+type Table struct {
+	// Title identifies the experiment (e.g. "Figure 10: L1 DTLB Misses
+	// Eliminated (Baseline: Reservation-based THP)").
+	Title string
+	// Header names the columns; Rows hold the cells.
+	Header []string
+	Rows   [][]string
+	// Notes carry caveats (substitutions, clamping, scaling).
+	Notes []string
+}
+
+// AddRow appends a row of cells.
+func (t *Table) AddRow(cells ...string) { t.Rows = append(t.Rows, cells) }
+
+// Render formats the table with aligned columns.
+func (t *Table) Render() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "%s\n", t.Title)
+	widths := make([]int, len(t.Header))
+	for i, h := range t.Header {
+		widths[i] = len(h)
+	}
+	for _, row := range t.Rows {
+		for i, c := range row {
+			if i < len(widths) && len(c) > widths[i] {
+				widths[i] = len(c)
+			}
+		}
+	}
+	line := func(cells []string) {
+		for i, c := range cells {
+			if i > 0 {
+				b.WriteString("  ")
+			}
+			fmt.Fprintf(&b, "%-*s", widths[min(i, len(widths)-1)], c)
+		}
+		b.WriteByte('\n')
+	}
+	line(t.Header)
+	sep := make([]string, len(t.Header))
+	for i := range sep {
+		sep[i] = strings.Repeat("-", widths[i])
+	}
+	line(sep)
+	for _, row := range t.Rows {
+		line(row)
+	}
+	for _, n := range t.Notes {
+		fmt.Fprintf(&b, "note: %s\n", n)
+	}
+	return b.String()
+}
+
+func min(a, b int) int {
+	if a < b {
+		return a
+	}
+	return b
+}
+
+// pct formats a fraction as a percentage cell.
+func pct(f float64) string { return fmt.Sprintf("%.1f%%", f*100) }
+
+// f2 formats a float with two decimals.
+func f2(f float64) string { return fmt.Sprintf("%.2f", f) }
