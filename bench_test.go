@@ -46,11 +46,14 @@ func benchSuite() []Workload {
 	return nil // Runner default: the full evaluation suite
 }
 
-func benchFigure(b *testing.B, f func(*Runner) *Table) {
+func benchFigure(b *testing.B, f func(*Runner) (*Table, error)) {
 	b.Helper()
 	for i := 0; i < b.N; i++ {
 		r := NewRunner(FigureConfig{Refs: benchRefs(), Suite: benchSuite()})
-		t := f(r)
+		t, err := f(r)
+		if err != nil {
+			b.Fatal(err)
+		}
 		if i == 0 {
 			fmt.Println(t.Render())
 		}

@@ -3,12 +3,16 @@
 // reports; shapes (who wins, by what factor) are the reproduction target,
 // not absolute cycle counts.
 //
+// Independent simulation cells fan out across a worker pool; rendered
+// output is byte-identical at any -parallel setting.
+//
 // Usage:
 //
 //	figures -all                 # every table and figure
 //	figures -fig 10              # one figure
 //	figures -ablations           # the design-choice ablations
 //	figures -refs 2000000        # deeper runs
+//	figures -all -parallel 8     # cap the worker pool at 8 simulations
 package main
 
 import (
@@ -26,13 +30,14 @@ func main() {
 		ablations = flag.Bool("ablations", false, "run the design-choice ablations")
 		refs      = flag.Uint64("refs", 1<<20, "measured references per run")
 		seed      = flag.Int64("seed", 42, "workload generator seed")
+		parallel  = flag.Int("parallel", 0, "max concurrent simulations (0 = GOMAXPROCS, 1 = serial)")
 	)
 	flag.Parse()
 
-	r := tps.NewRunner(tps.FigureConfig{Refs: *refs, Seed: *seed})
+	r := tps.NewRunner(tps.FigureConfig{Refs: *refs, Seed: *seed, Parallelism: *parallel})
 
-	figures := map[int]func() *tps.Table{
-		1:  tps.TableI,
+	figures := map[int]func() (*tps.Table, error){
+		1:  func() (*tps.Table, error) { return tps.TableI(), nil },
 		2:  r.Fig2,
 		3:  r.Fig3,
 		8:  r.Fig8,
@@ -51,7 +56,7 @@ func main() {
 	switch {
 	case *all:
 		for _, n := range []int{1, 2, 3, 8, 9, 10, 11, 12, 13, 14, 15, 16, 17, 18} {
-			fmt.Println(figures[n]().Render())
+			render(figures[n])
 		}
 		if *ablations {
 			runAblations(r)
@@ -64,15 +69,26 @@ func main() {
 			fmt.Fprintf(os.Stderr, "no such figure %d (have 1-3, 8-18; 4-7 are hardware schematics realized in code)\n", *fig)
 			os.Exit(1)
 		}
-		fmt.Println(f().Render())
+		render(f)
 	default:
 		flag.Usage()
 		os.Exit(2)
 	}
 }
 
+// render runs one figure and prints it, or reports the failure and exits
+// nonzero — a failed cell is a diagnosis, not a stack trace.
+func render(f func() (*tps.Table, error)) {
+	t, err := f()
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "figures: %v\n", err)
+		os.Exit(1)
+	}
+	fmt.Println(t.Render())
+}
+
 func runAblations(r *tps.Runner) {
-	for _, f := range []func() *tps.Table{
+	for _, f := range []func() (*tps.Table, error){
 		r.AblationAliasStrategy,
 		r.AblationPromotionThreshold,
 		r.AblationReservationSizing,
@@ -82,6 +98,6 @@ func runAblations(r *tps.Runner) {
 		r.ExtCompactionDaemon,
 		r.ExtCowPolicies,
 	} {
-		fmt.Println(f().Render())
+		render(f)
 	}
 }

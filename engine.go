@@ -1,0 +1,117 @@
+package tps
+
+import (
+	"runtime"
+	"sync"
+)
+
+// engine is the concurrency-safe heart of the Runner: a
+// singleflight-deduplicating result cache plus a worker pool bounding how
+// many simulations execute at once. Two figures wanting the same runKey
+// cell share one in-flight run instead of racing or recomputing, and a
+// completed cell (result or error) is served from the cache forever after.
+type engine struct {
+	sem     chan struct{} // worker-pool tokens
+	mu      sync.Mutex    // guards flights
+	flights map[runKey]*flight
+}
+
+// flight is one cell's lifecycle: created exactly once per key, its done
+// channel closes when the run finishes, after which res/err are immutable.
+type flight struct {
+	done chan struct{}
+	res  Result
+	err  error
+}
+
+// newEngine sizes the worker pool; parallelism <= 0 means GOMAXPROCS.
+func newEngine(parallelism int) *engine {
+	if parallelism <= 0 {
+		parallelism = runtime.GOMAXPROCS(0)
+	}
+	return &engine{
+		sem:     make(chan struct{}, parallelism),
+		flights: make(map[runKey]*flight),
+	}
+}
+
+// do returns the cached or in-flight result for key, or executes fn under
+// the worker-pool limit. Exactly one caller per key runs fn; everyone else
+// blocks until that flight lands and shares its result.
+func (e *engine) do(key runKey, fn func() (Result, error)) (Result, error) {
+	e.mu.Lock()
+	if f, ok := e.flights[key]; ok {
+		e.mu.Unlock()
+		<-f.done
+		return f.res, f.err
+	}
+	f := &flight{done: make(chan struct{})}
+	e.flights[key] = f
+	e.mu.Unlock()
+
+	e.sem <- struct{}{}
+	f.res, f.err = fn()
+	<-e.sem
+	close(f.done)
+	return f.res, f.err
+}
+
+// size reports how many cells have been started (in flight or settled).
+func (e *engine) size() int {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	return len(e.flights)
+}
+
+// parallelism reports the worker-pool width.
+func (e *engine) parallelism() int { return cap(e.sem) }
+
+// warm fans the given run thunks out across the worker pool and waits for
+// all of them, so the serial assembly pass that follows hits only settled
+// cache entries. Errors stay memoized in their flights and are re-surfaced,
+// deterministically, by the first assembly-order run that needs the failed
+// cell. With Parallelism 1 warm is a no-op: cells run on demand, in order,
+// exactly as the serial runner did.
+func (r *Runner) warm(runs ...func()) {
+	if r.eng.parallelism() <= 1 || len(runs) <= 1 {
+		return
+	}
+	var wg sync.WaitGroup
+	wg.Add(len(runs))
+	for _, f := range runs {
+		go func(f func()) {
+			defer wg.Done()
+			f()
+		}(f)
+	}
+	wg.Wait()
+}
+
+// warmSuite prefetches the workload×setup×flags grid of an upcoming figure.
+func (r *Runner) warmSuite(suite []Workload, setups []Setup, flags ...runFlags) {
+	if len(flags) == 0 {
+		flags = []runFlags{{}}
+	}
+	var runs []func()
+	for _, w := range suite {
+		for _, s := range setups {
+			for _, f := range flags {
+				w, s, f := w, s, f
+				runs = append(runs, func() { r.run(w, s, f) })
+			}
+		}
+	}
+	r.warm(runs...)
+}
+
+// warmAblation prefetches the suite×mutator grid of an upcoming ablation.
+func (r *Runner) warmAblation(suite []Workload, mutators ...func(*Options)) {
+	var runs []func()
+	for _, w := range suite {
+		for _, m := range mutators {
+			w, m := w, m
+			runs = append(runs, func() { r.ablationRun(w, m) })
+		}
+	}
+	r.warm(runs...)
+}

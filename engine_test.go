@@ -1,0 +1,153 @@
+package tps
+
+import (
+	"reflect"
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+)
+
+// TestEngineSingleflight: concurrent callers of the same key share one
+// execution and one result.
+func TestEngineSingleflight(t *testing.T) {
+	e := newEngine(4)
+	var calls int32
+	key := runKey{name: "x", setup: SetupTPS}
+	var wg sync.WaitGroup
+	results := make([]Result, 8)
+	for i := 0; i < 8; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			res, err := e.do(key, func() (Result, error) {
+				atomic.AddInt32(&calls, 1)
+				time.Sleep(20 * time.Millisecond) // widen the dedup window
+				return Result{Refs: 42}, nil
+			})
+			if err != nil {
+				t.Errorf("do: %v", err)
+			}
+			results[i] = res
+		}(i)
+	}
+	wg.Wait()
+	if calls != 1 {
+		t.Errorf("fn executed %d times, want 1", calls)
+	}
+	for i, res := range results {
+		if res.Refs != 42 {
+			t.Errorf("caller %d got %+v", i, res)
+		}
+	}
+	if e.size() != 1 {
+		t.Errorf("cache size=%d", e.size())
+	}
+}
+
+// TestEngineWorkerPoolBound: no more than `parallelism` fns run at once,
+// and queued cells still all complete.
+func TestEngineWorkerPoolBound(t *testing.T) {
+	const width = 3
+	e := newEngine(width)
+	var running, peak int32
+	var wg sync.WaitGroup
+	for i := 0; i < 16; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			e.do(runKey{name: "k", tlbEntries: i}, func() (Result, error) {
+				n := atomic.AddInt32(&running, 1)
+				for {
+					p := atomic.LoadInt32(&peak)
+					if n <= p || atomic.CompareAndSwapInt32(&peak, p, n) {
+						break
+					}
+				}
+				time.Sleep(5 * time.Millisecond)
+				atomic.AddInt32(&running, -1)
+				return Result{}, nil
+			})
+		}(i)
+	}
+	wg.Wait()
+	if peak > width {
+		t.Errorf("peak concurrency %d exceeds pool width %d", peak, width)
+	}
+	if e.size() != 16 {
+		t.Errorf("cache size=%d, want 16", e.size())
+	}
+}
+
+// TestParallelMatchesSerial is the engine-determinism contract: the same
+// figure set at the same seed produces identical Result values and
+// byte-identical rendered tables with Parallelism 1 and > 1.
+func TestParallelMatchesSerial(t *testing.T) {
+	cfg := FigureConfig{Refs: 20_000, Suite: smallSuite(t)}
+	serialCfg, parCfg := cfg, cfg
+	serialCfg.Parallelism = 1
+	parCfg.Parallelism = 4
+	serial := NewRunner(serialCfg)
+	par := NewRunner(parCfg)
+
+	figs := []struct {
+		name string
+		s, p func() (*Table, error)
+	}{
+		{"fig9", serial.Fig9, par.Fig9},
+		{"fig10", serial.Fig10, par.Fig10},
+		{"fig13", serial.Fig13, par.Fig13},
+		{"fig18", serial.Fig18, par.Fig18},
+	}
+	for _, f := range figs {
+		a, err := f.s()
+		if err != nil {
+			t.Fatalf("%s serial: %v", f.name, err)
+		}
+		b, err := f.p()
+		if err != nil {
+			t.Fatalf("%s parallel: %v", f.name, err)
+		}
+		if a.Render() != b.Render() {
+			t.Errorf("%s rendered output differs between serial and parallel:\n--- serial ---\n%s--- parallel ---\n%s",
+				f.name, a.Render(), b.Render())
+		}
+	}
+	// Cell-level Result values are identical too, not just formatting.
+	for _, w := range cfg.Suite {
+		for _, setup := range []Setup{SetupTHP, SetupTPS} {
+			sres, err := serial.run(w, setup, runFlags{})
+			if err != nil {
+				t.Fatal(err)
+			}
+			pres, err := par.run(w, setup, runFlags{})
+			if err != nil {
+				t.Fatal(err)
+			}
+			if !reflect.DeepEqual(sres, pres) {
+				t.Errorf("%s/%v: Result differs between serial and parallel", w.Name, setup)
+			}
+		}
+	}
+}
+
+// TestRunErrorPropagates: a failing cell surfaces as a returned error from
+// the figure method — no panic — and the error is memoized like a result.
+func TestRunErrorPropagates(t *testing.T) {
+	// 256 base pages = 1 MB of physical memory: every suite workload's
+	// initialization sweep exhausts it.
+	r := NewRunner(FigureConfig{Refs: 50_000, MemoryPages: 256, Suite: smallSuite(t), Parallelism: 2})
+	if _, err := r.Fig10(); err == nil {
+		t.Fatal("Fig10 on a 1 MB machine should fail with out-of-memory")
+	}
+	before := r.eng.size()
+	if _, err := r.Fig10(); err == nil {
+		t.Fatal("second Fig10 call should re-surface the memoized error")
+	}
+	if r.eng.size() != before {
+		t.Errorf("failed cells re-executed: %d -> %d", before, r.eng.size())
+	}
+	if _, err := r.AblationSkewedTLB(); err == nil {
+		t.Fatal("ablation on a 1 MB machine should fail with out-of-memory")
+	}
+}

@@ -3,7 +3,6 @@ package tps
 import (
 	"fmt"
 
-	"tps/internal/fragstate"
 	"tps/internal/vmm"
 )
 
@@ -16,7 +15,7 @@ import (
 // time would help TPS incrementally grow page sizes and reduce TLB
 // misses". It compares TPS on a heavily fragmented machine without and
 // with an incremental merge-aware compaction daemon.
-func (r *Runner) ExtCompactionDaemon() *Table {
+func (r *Runner) ExtCompactionDaemon() (*Table, error) {
 	t := &Table{
 		Title:  "Extension: Incremental Compaction Daemon under High Fragmentation (§IV-B suggestion)",
 		Header: []string{"benchmark", "TPS elim (no daemon)", "TPS elim (daemon)", "2M+ pages (no daemon)", "2M+ pages (daemon)"},
@@ -25,40 +24,54 @@ func (r *Runner) ExtCompactionDaemon() *Table {
 			"re-homing a fragmented chunk needs one chunk of free headroom: workloads filling nearly all free memory (xsbench) cannot consolidate",
 		},
 	}
-	names := []string{"gups", "graph500", "xsbench"}
-	for _, name := range names {
-		w, ok := WorkloadByName(name)
-		if !ok {
-			continue
+	var suite []Workload
+	for _, name := range []string{"gups", "graph500", "xsbench"} {
+		if w, ok := WorkloadByName(name); ok {
+			suite = append(suite, w)
 		}
-		thp := r.run(w, SetupTHP, runFlags{frag: true})
-		plain := r.run(w, SetupTPS, runFlags{frag: true})
-		daemon := r.runCompactDaemon(w)
+	}
+	var warm []func()
+	for _, w := range suite {
+		w := w
+		warm = append(warm,
+			func() { r.run(w, SetupTHP, runFlags{frag: true}) },
+			func() { r.run(w, SetupTPS, runFlags{frag: true}) },
+			func() { r.runCompactDaemon(w) })
+	}
+	r.warm(warm...)
+	for _, w := range suite {
+		thp, err := r.run(w, SetupTHP, runFlags{frag: true})
+		if err != nil {
+			return nil, err
+		}
+		plain, err := r.run(w, SetupTPS, runFlags{frag: true})
+		if err != nil {
+			return nil, err
+		}
+		daemon, err := r.runCompactDaemon(w)
+		if err != nil {
+			return nil, err
+		}
 		t.AddRow(w.Name,
 			pct(elim(thp.MMU.L1Misses, plain.MMU.L1Misses)),
 			pct(elim(thp.MMU.L1Misses, daemon.MMU.L1Misses)),
 			fmt.Sprintf("%d", bigPages(plain)),
 			fmt.Sprintf("%d", bigPages(daemon)))
 	}
-	return t
+	return t, nil
 }
 
 // runCompactDaemon runs TPS on the fragmented state with the incremental
 // daemon firing four times across the measured window.
-func (r *Runner) runCompactDaemon(w Workload) Result {
+func (r *Runner) runCompactDaemon(w Workload) (Result, error) {
 	opts := Options{
 		Setup:        SetupTPS,
 		Refs:         r.cfg.Refs,
 		Seed:         r.cfg.Seed,
 		MemoryPages:  r.cfg.MemoryPages,
-		PreFragment:  fragstate.PreFragment(fragstate.DefaultParams()),
 		CompactEvery: r.cfg.Refs / 2, // fires during init and the main phase
 	}
-	res, err := Run(w, opts)
-	if err != nil {
-		panic(fmt.Sprintf("tps: compaction-daemon run %s failed: %v", w.Name, err))
-	}
-	return res
+	return r.runOpts(w, opts, true)
 }
 
 // bigPages counts mapped pages of 2 MB and above.
@@ -74,7 +87,7 @@ func bigPages(res Result) (n uint64) {
 // ExtCowPolicies quantifies the §III-C3 copy-on-write options on a shared
 // tailored page: copy time (pages copied) vs TLB pressure (page count)
 // for the split-least and copy-whole policies.
-func (r *Runner) ExtCowPolicies() *Table {
+func (r *Runner) ExtCowPolicies() (*Table, error) {
 	t := &Table{
 		Title:  "Extension: Copy-on-Write Policies for Tailored Pages (§III-C3)",
 		Header: []string{"policy", "cow faults", "pages copied", "pages mapping region", "sys cycles"},
@@ -88,5 +101,5 @@ func (r *Runner) ExtCowPolicies() *Table {
 			fmt.Sprintf("%d", res.RegionPages),
 			fmt.Sprintf("%d", res.SysCycles))
 	}
-	return t
+	return t, nil
 }

@@ -8,6 +8,8 @@ import (
 	"tps/internal/buddy"
 	"tps/internal/fragstate"
 	"tps/internal/mmu"
+	"tps/internal/pagetable"
+	"tps/internal/vmm"
 )
 
 // FigureConfig scales the evaluation: Refs is the measured (post-warmup)
@@ -19,6 +21,11 @@ type FigureConfig struct {
 	Seed        int64
 	MemoryPages uint64     // default 1 << 22 (16 GB)
 	Suite       []Workload // default EvalSuite()
+	// Parallelism bounds how many simulations run concurrently; 0 (the
+	// default) uses GOMAXPROCS, 1 reproduces the serial runner. Rendered
+	// output is byte-identical at any setting: each cell is an
+	// independent deterministic machine and tables assemble serially.
+	Parallelism int
 }
 
 func (c FigureConfig) withDefaults() FigureConfig {
@@ -35,30 +42,43 @@ func (c FigureConfig) withDefaults() FigureConfig {
 }
 
 // Runner executes and memoizes simulation runs across figures, so a full
-// reproduction (cmd/figures -all) runs each configuration once.
+// reproduction (cmd/figures -all) runs each configuration once. Cells fan
+// out across a worker pool (FigureConfig.Parallelism) with singleflight
+// deduplication; all methods are safe for concurrent use.
 type Runner struct {
-	cfg   FigureConfig
-	cache map[runKey]Result
+	cfg FigureConfig
+	eng *engine
 }
 
+// runKey identifies one simulation cell. It fingerprints every Options
+// field the figures, ablations, and extensions vary, so the cache can
+// share cells across all of them (e.g. the plain TPS run appears in
+// Figs. 10/11/18 and several ablations, and executes once).
 type runKey struct {
 	name                 string
 	setup                Setup
 	smt, virt, frag, cyc bool
+
+	// Ablation/extension knobs (zero for the standard figure cells).
+	threshold    float64
+	sizing       vmm.Sizing
+	alias        pagetable.AliasStrategy
+	compactFail  bool
+	levels       int
+	tlbEntries   int
+	skewed       bool
+	compactEvery uint64
 }
 
 // NewRunner creates a Runner for the configuration.
 func NewRunner(cfg FigureConfig) *Runner {
-	return &Runner{cfg: cfg.withDefaults(), cache: make(map[runKey]Result)}
+	cfg = cfg.withDefaults()
+	return &Runner{cfg: cfg, eng: newEngine(cfg.Parallelism)}
 }
 
 type runFlags struct{ smt, virt, frag, cyc bool }
 
-func (r *Runner) run(w Workload, setup Setup, f runFlags) Result {
-	key := runKey{w.Name, setup, f.smt, f.virt, f.frag, f.cyc}
-	if res, ok := r.cache[key]; ok {
-		return res
-	}
+func (r *Runner) run(w Workload, setup Setup, f runFlags) (Result, error) {
 	opts := Options{
 		Setup:       setup,
 		Refs:        r.cfg.Refs,
@@ -68,15 +88,31 @@ func (r *Runner) run(w Workload, setup Setup, f runFlags) Result {
 		Virtualized: f.virt,
 		CycleModel:  f.cyc,
 	}
-	if f.frag {
+	return r.runOpts(w, opts, f.frag)
+}
+
+// runOpts keys the options, dedupes against in-flight and completed runs,
+// and executes under the worker pool. frag selects the standard fragmented
+// initial state (Options.PreFragment is a function and cannot be keyed).
+func (r *Runner) runOpts(w Workload, opts Options, frag bool) (Result, error) {
+	key := runKey{
+		name: w.Name, setup: opts.Setup,
+		smt: opts.SMT, virt: opts.Virtualized, frag: frag, cyc: opts.CycleModel,
+		threshold: opts.PromotionThreshold, sizing: opts.Sizing,
+		alias: opts.AliasStrategy, compactFail: opts.CompactOnFailure,
+		levels: opts.Levels, tlbEntries: opts.TPSTLBEntries,
+		skewed: opts.TPSTLBSkewed, compactEvery: opts.CompactEvery,
+	}
+	if frag {
 		opts.PreFragment = fragstate.PreFragment(fragstate.DefaultParams())
 	}
-	res, err := Run(w, opts)
-	if err != nil {
-		panic(fmt.Sprintf("tps: run %s/%v failed: %v", w.Name, setup, err))
-	}
-	r.cache[key] = res
-	return res
+	return r.eng.do(key, func() (Result, error) {
+		res, err := Run(w, opts)
+		if err != nil {
+			return Result{}, fmt.Errorf("run %s/%v: %w", w.Name, opts.Setup, err)
+		}
+		return res, nil
+	})
 }
 
 // elim returns the eliminated fraction, clamped at zero as in the paper
@@ -109,46 +145,62 @@ func TableI() *Table {
 
 // Fig2 reports the percentage of execution time spent page walking under
 // reservation-based THP for native, SMT, and virtualized execution.
-func (r *Runner) Fig2() *Table {
+func (r *Runner) Fig2() (*Table, error) {
 	t := &Table{
 		Title:  "Figure 2: Page Walk Overhead — Percent of Execution Time Spent Page Walking (THP)",
 		Header: []string{"benchmark", "native", "native+SMT", "virtualized"},
 	}
+	r.warmSuite(r.cfg.Suite, []Setup{SetupTHP},
+		runFlags{cyc: true}, runFlags{cyc: true, smt: true}, runFlags{cyc: true, virt: true})
 	for _, w := range r.cfg.Suite {
-		nat := r.run(w, SetupTHP, runFlags{cyc: true})
-		smt := r.run(w, SetupTHP, runFlags{cyc: true, smt: true})
-		virt := r.run(w, SetupTHP, runFlags{cyc: true, virt: true})
+		nat, err := r.run(w, SetupTHP, runFlags{cyc: true})
+		if err != nil {
+			return nil, err
+		}
+		smt, err := r.run(w, SetupTHP, runFlags{cyc: true, smt: true})
+		if err != nil {
+			return nil, err
+		}
+		virt, err := r.run(w, SetupTHP, runFlags{cyc: true, virt: true})
+		if err != nil {
+			return nil, err
+		}
 		t.AddRow(w.Name,
 			pct(frac(nat.TPW(), nat.CyclesReal)),
 			pct(frac(smt.TPW(), smt.CyclesReal)),
 			pct(frac(virt.TPW(), virt.CyclesReal)))
 	}
-	return t
+	return t, nil
 }
 
 // Fig3 reports the speedup of a perfect L1 TLB over a perfect L2 TLB
 // baseline (cycle model, THP).
-func (r *Runner) Fig3() *Table {
+func (r *Runner) Fig3() (*Table, error) {
 	t := &Table{
 		Title:  "Figure 3: Speedup of Perfect L1 TLB over Perfect L2 TLB Baseline",
 		Header: []string{"benchmark", "speedup"},
 	}
+	r.warmSuite(r.cfg.Suite, []Setup{SetupTHP}, runFlags{cyc: true})
 	for _, w := range r.cfg.Suite {
-		res := r.run(w, SetupTHP, runFlags{cyc: true})
+		res, err := r.run(w, SetupTHP, runFlags{cyc: true})
+		if err != nil {
+			return nil, err
+		}
 		t.AddRow(w.Name, f2(safeDiv(float64(res.CyclesPerfectL2), float64(res.CyclesIdeal))))
 	}
-	return t
+	return t, nil
 }
 
 // Fig8 profiles L1 DTLB MPKI across the full catalog (THP active, as on
 // the paper's profiling hardware). Benchmarks above the MPKI>5 line form
 // the evaluation suite.
-func (r *Runner) Fig8() *Table {
+func (r *Runner) Fig8() (*Table, error) {
 	t := &Table{
 		Title:  "Figure 8: L1 DTLB MPKI (THP active; MPKI > 5 selected for evaluation)",
 		Header: []string{"benchmark", "MPKI", "selected"},
 	}
 	all := Workloads()
+	r.warmSuite(all, []Setup{SetupTHP})
 	type row struct {
 		name string
 		mpki float64
@@ -156,7 +208,10 @@ func (r *Runner) Fig8() *Table {
 	}
 	rows := make([]row, 0, len(all))
 	for _, w := range all {
-		res := r.run(w, SetupTHP, runFlags{})
+		res, err := r.run(w, SetupTHP, runFlags{})
+		if err != nil {
+			return nil, err
+		}
 		rows = append(rows, row{w.Name, res.L1MPKI, res.L1MPKI > 5})
 	}
 	sort.Slice(rows, func(i, j int) bool { return rows[i].mpki > rows[j].mpki })
@@ -167,96 +222,119 @@ func (r *Runner) Fig8() *Table {
 		}
 		t.AddRow(x.name, f2(x.mpki), sel)
 	}
-	return t
+	return t, nil
 }
 
 // Fig9 reports the memory-utilization increase of exclusive 2 MB pages
 // over exclusive 4 KB pages.
-func (r *Runner) Fig9() *Table {
+func (r *Runner) Fig9() (*Table, error) {
 	t := &Table{
 		Title:  "Figure 9: Increase in Memory Utilization with Exclusive 2MB Pages",
 		Header: []string{"benchmark", "4K pages", "2M-only pages", "increase"},
 	}
+	r.warmSuite(r.cfg.Suite, []Setup{SetupBase4K, Setup2MOnly})
 	for _, w := range r.cfg.Suite {
-		four := r.run(w, SetupBase4K, runFlags{})
-		two := r.run(w, Setup2MOnly, runFlags{})
+		four, err := r.run(w, SetupBase4K, runFlags{})
+		if err != nil {
+			return nil, err
+		}
+		two, err := r.run(w, Setup2MOnly, runFlags{})
+		if err != nil {
+			return nil, err
+		}
 		inc := safeDiv(float64(two.MappedPages), float64(four.DemandPages)) - 1
 		t.AddRow(w.Name,
 			fmt.Sprintf("%d", four.DemandPages),
 			fmt.Sprintf("%d", two.MappedPages),
 			pct(inc))
 	}
-	return t
+	return t, nil
 }
 
 // Fig10 reports the percentage of L1 DTLB misses eliminated by TPS, CoLT
 // and RMM relative to the reservation-based THP baseline.
-func (r *Runner) Fig10() *Table {
+func (r *Runner) Fig10() (*Table, error) {
 	t := &Table{
 		Title:  "Figure 10: L1 DTLB Misses Eliminated (Baseline: Reservation-based THP)",
 		Header: []string{"benchmark", "TPS", "CoLT", "RMM"},
 		Notes:  []string{"negative eliminations clamp to 0, as in the paper's RMM discussion"},
 	}
+	r.warmSuite(r.cfg.Suite, []Setup{SetupTHP, SetupTPS, SetupCoLT, SetupRMM})
 	var sums [3]float64
 	for _, w := range r.cfg.Suite {
-		thp := r.run(w, SetupTHP, runFlags{})
-		vals := [3]float64{
-			elim(thp.MMU.L1Misses, r.run(w, SetupTPS, runFlags{}).MMU.L1Misses),
-			elim(thp.MMU.L1Misses, r.run(w, SetupCoLT, runFlags{}).MMU.L1Misses),
-			elim(thp.MMU.L1Misses, r.run(w, SetupRMM, runFlags{}).MMU.L1Misses),
+		thp, err := r.run(w, SetupTHP, runFlags{})
+		if err != nil {
+			return nil, err
 		}
-		for i, v := range vals {
-			sums[i] += v
+		var vals [3]float64
+		for i, setup := range []Setup{SetupTPS, SetupCoLT, SetupRMM} {
+			mech, err := r.run(w, setup, runFlags{})
+			if err != nil {
+				return nil, err
+			}
+			vals[i] = elim(thp.MMU.L1Misses, mech.MMU.L1Misses)
+			sums[i] += vals[i]
 		}
 		t.AddRow(w.Name, pct(vals[0]), pct(vals[1]), pct(vals[2]))
 	}
 	n := float64(len(r.cfg.Suite))
 	t.AddRow("average", pct(sums[0]/n), pct(sums[1]/n), pct(sums[2]/n))
-	return t
+	return t, nil
 }
 
 // Fig11 reports the percentage of page-walk memory references eliminated
 // by TPS, RMM, CoLT, and eager-paging TPS relative to the THP baseline.
-func (r *Runner) Fig11() *Table {
+func (r *Runner) Fig11() (*Table, error) {
 	t := &Table{
 		Title:  "Figure 11: Page Walk Memory References Eliminated (Baseline: Reservation-based THP)",
 		Header: []string{"benchmark", "TPS", "RMM", "CoLT", "TPS-eager"},
 		Notes:  []string{"RMM range-walker fetches count as walk references"},
 	}
+	r.warmSuite(r.cfg.Suite, []Setup{SetupTHP, SetupTPS, SetupRMM, SetupCoLT, SetupTPSEager})
 	var sums [4]float64
 	for _, w := range r.cfg.Suite {
-		thp := r.run(w, SetupTHP, runFlags{})
-		vals := [4]float64{
-			elim(thp.WalkMemRefs, r.run(w, SetupTPS, runFlags{}).WalkMemRefs),
-			elim(thp.WalkMemRefs, r.run(w, SetupRMM, runFlags{}).WalkMemRefs),
-			elim(thp.WalkMemRefs, r.run(w, SetupCoLT, runFlags{}).WalkMemRefs),
-			elim(thp.WalkMemRefs, r.run(w, SetupTPSEager, runFlags{}).WalkMemRefs),
+		thp, err := r.run(w, SetupTHP, runFlags{})
+		if err != nil {
+			return nil, err
 		}
-		for i, v := range vals {
-			sums[i] += v
+		var vals [4]float64
+		for i, setup := range []Setup{SetupTPS, SetupRMM, SetupCoLT, SetupTPSEager} {
+			mech, err := r.run(w, setup, runFlags{})
+			if err != nil {
+				return nil, err
+			}
+			vals[i] = elim(thp.WalkMemRefs, mech.WalkMemRefs)
+			sums[i] += vals[i]
 		}
 		t.AddRow(w.Name, pct(vals[0]), pct(vals[1]), pct(vals[2]), pct(vals[3]))
 	}
 	n := float64(len(r.cfg.Suite))
 	t.AddRow("average", pct(sums[0]/n), pct(sums[1]/n), pct(sums[2]/n), pct(sums[3]/n))
-	return t
+	return t, nil
 }
 
 // Fig12 estimates the fraction of page-walker cycle savings that
 // translates into execution-time savings, from the THP-disabled vs
 // THP-enabled configurations (the paper's performance-counter method,
 // applied to the cycle model).
-func (r *Runner) Fig12() *Table {
+func (r *Runner) Fig12() (*Table, error) {
 	t := &Table{
 		Title:  "Figure 12: Savable Page Walker Cycles",
 		Header: []string{"benchmark", "savable"},
 	}
+	r.warmSuite(r.cfg.Suite, []Setup{SetupBase4K, SetupTHP}, runFlags{cyc: true})
 	for _, w := range r.cfg.Suite {
-		d := r.run(w, SetupBase4K, runFlags{cyc: true}) // THP disabled
-		e := r.run(w, SetupTHP, runFlags{cyc: true})    // THP enabled
+		d, err := r.run(w, SetupBase4K, runFlags{cyc: true}) // THP disabled
+		if err != nil {
+			return nil, err
+		}
+		e, err := r.run(w, SetupTHP, runFlags{cyc: true}) // THP enabled
+		if err != nil {
+			return nil, err
+		}
 		t.AddRow(w.Name, pct(savable(d, e)))
 	}
-	return t
+	return t, nil
 }
 
 // savable computes (ΔTC/ΔPWC) clamped to [0,1]: how much of the raw
@@ -282,18 +360,18 @@ func savable(disabled, enabled Result) float64 {
 // Fig13 estimates speedup over the THP baseline for TPS, RMM and CoLT via
 // the paper's decomposition T = T_IDEAL + T_L1DTLBM + T_PW, scaling the
 // two overhead terms by each mechanism's measured elimination ratios.
-func (r *Runner) Fig13() *Table {
+func (r *Runner) Fig13() (*Table, error) {
 	return r.speedupFigure(false,
 		"Figure 13: Speedup - Native (no SMT), Baseline: Reservation-based THP")
 }
 
 // Fig14 is Fig13 under SMT co-runner interference.
-func (r *Runner) Fig14() *Table {
+func (r *Runner) Fig14() (*Table, error) {
 	return r.speedupFigure(true,
 		"Figure 14: Speedup - Native (SMT), Baseline: Reservation-based THP")
 }
 
-func (r *Runner) speedupFigure(smt bool, title string) *Table {
+func (r *Runner) speedupFigure(smt bool, title string) (*Table, error) {
 	t := &Table{
 		Title:  title,
 		Header: []string{"benchmark", "TPS", "RMM", "CoLT", "ideal"},
@@ -301,18 +379,29 @@ func (r *Runner) speedupFigure(smt bool, title string) *Table {
 			"T = T_IDEAL + T_L1DTLBM + T_PW; overhead terms scaled by measured elimination ratios",
 		},
 	}
+	r.warmSuite(r.cfg.Suite, []Setup{SetupTHP}, runFlags{cyc: true, smt: smt})
+	r.warmSuite(r.cfg.Suite, []Setup{SetupTHP, SetupTPS, SetupRMM, SetupCoLT}, runFlags{smt: smt})
 	var sums [4]float64
 	for _, w := range r.cfg.Suite {
-		base := r.run(w, SetupTHP, runFlags{cyc: true, smt: smt})
+		base, err := r.run(w, SetupTHP, runFlags{cyc: true, smt: smt})
+		if err != nil {
+			return nil, err
+		}
 		T := float64(base.CyclesReal)
 		tIdeal := float64(base.CyclesIdeal)
 		tL1 := float64(base.TL1DTLBM())
 		tPW := float64(base.TPW())
 
-		thpF := r.run(w, SetupTHP, runFlags{smt: smt})
+		thpF, err := r.run(w, SetupTHP, runFlags{smt: smt})
+		if err != nil {
+			return nil, err
+		}
 		row := []string{w.Name}
 		for i, setup := range []Setup{SetupTPS, SetupRMM, SetupCoLT} {
-			mech := r.run(w, setup, runFlags{smt: smt})
+			mech, err := r.run(w, setup, runFlags{smt: smt})
+			if err != nil {
+				return nil, err
+			}
 			eL1 := elim(thpF.MMU.L1Misses, mech.MMU.L1Misses)
 			ePW := elim(thpF.WalkMemRefs, mech.WalkMemRefs)
 			tMech := tIdeal + tL1*(1-eL1) + tPW*(1-ePW)
@@ -327,12 +416,12 @@ func (r *Runner) speedupFigure(smt bool, title string) *Table {
 	}
 	n := float64(len(r.cfg.Suite))
 	t.AddRow("average", f2(sums[0]/n), f2(sums[1]/n), f2(sums[2]/n), f2(sums[3]/n))
-	return t
+	return t, nil
 }
 
 // Fig15 reports the fraction of a fragmented system's free memory usable
 // by each single page size (the /proc/buddyinfo study).
-func (r *Runner) Fig15() *Table {
+func (r *Runner) Fig15() (*Table, error) {
 	t := &Table{
 		Title:  "Figure 15: Free Memory Coverage by Various Page Sizes (fragmented server state)",
 		Header: []string{"page size", "coverage"},
@@ -343,23 +432,30 @@ func (r *Runner) Fig15() *Table {
 	for o := addr.Order(0); o <= addr.Order1G; o++ {
 		t.AddRow(o.String(), pct(cov[o]))
 	}
-	return t
+	return t, nil
 }
 
 // Fig16 reports L1 DTLB misses eliminated by TPS under the fragmented
 // initial state (no compaction during the run).
-func (r *Runner) Fig16() *Table {
+func (r *Runner) Fig16() (*Table, error) {
 	t := &Table{
 		Title:  "Figure 16: L1 DTLB Misses Eliminated under High Fragmentation",
 		Header: []string{"benchmark", "TPS"},
 		Notes:  []string{"baseline: reservation-based THP on the same fragmented state"},
 	}
+	r.warmSuite(r.cfg.Suite, []Setup{SetupTHP, SetupTPS}, runFlags{frag: true})
 	for _, w := range r.cfg.Suite {
-		thp := r.run(w, SetupTHP, runFlags{frag: true})
-		tpsR := r.run(w, SetupTPS, runFlags{frag: true})
+		thp, err := r.run(w, SetupTHP, runFlags{frag: true})
+		if err != nil {
+			return nil, err
+		}
+		tpsR, err := r.run(w, SetupTPS, runFlags{frag: true})
+		if err != nil {
+			return nil, err
+		}
 		t.AddRow(w.Name, pct(elim(thp.MMU.L1Misses, tpsR.MMU.L1Misses)))
 	}
-	return t
+	return t, nil
 }
 
 // Fig17 reports system (OS allocator) time as a percentage of execution
@@ -368,7 +464,7 @@ func (r *Runner) Fig16() *Table {
 // paper's average is 0.16%). The whole-run column includes the
 // initialization burst, which the scaled-down reference budget makes look
 // far larger than it is on a full-length run.
-func (r *Runner) Fig17() *Table {
+func (r *Runner) Fig17() (*Table, error) {
 	t := &Table{
 		Title:  "Figure 17: Percentage of Total Execution Time Spent in System (TPS)",
 		Header: []string{"benchmark", "steady state", "incl. startup"},
@@ -376,20 +472,24 @@ func (r *Runner) Fig17() *Table {
 			"steady state excludes the one-time fault-in/zeroing burst; the startup column is inflated by the scaled-down run length",
 		},
 	}
+	r.warmSuite(r.cfg.Suite, []Setup{SetupTPS}, runFlags{cyc: true})
 	var sum float64
 	for _, w := range r.cfg.Suite {
-		res := r.run(w, SetupTPS, runFlags{cyc: true})
+		res, err := r.run(w, SetupTPS, runFlags{cyc: true})
+		if err != nil {
+			return nil, err
+		}
 		steady := frac(res.SysCyclesMain, res.CyclesReal+res.SysCyclesMain)
 		whole := frac(res.OS.SysCycles, res.CyclesReal+res.CyclesWarmup+res.OS.SysCycles)
 		sum += steady
 		t.AddRow(w.Name, pct(steady), pct(whole))
 	}
 	t.AddRow("average", pct(sum/float64(len(r.cfg.Suite))), "")
-	return t
+	return t, nil
 }
 
 // Fig18 reports each benchmark's page-size census under TPS.
-func (r *Runner) Fig18() *Table {
+func (r *Runner) Fig18() (*Table, error) {
 	t := &Table{
 		Title:  "Figure 18: TPS Per-Benchmark Page Size Counts",
 		Header: []string{"benchmark"},
@@ -397,8 +497,12 @@ func (r *Runner) Fig18() *Table {
 	for o := addr.Order(0); o <= addr.Order1G; o++ {
 		t.Header = append(t.Header, o.String())
 	}
+	r.warmSuite(r.cfg.Suite, []Setup{SetupTPS})
 	for _, w := range r.cfg.Suite {
-		res := r.run(w, SetupTPS, runFlags{})
+		res, err := r.run(w, SetupTPS, runFlags{})
+		if err != nil {
+			return nil, err
+		}
 		row := []string{w.Name}
 		for o := addr.Order(0); o <= addr.Order1G; o++ {
 			if n := res.Census[o]; n > 0 {
@@ -409,7 +513,7 @@ func (r *Runner) Fig18() *Table {
 		}
 		t.AddRow(row...)
 	}
-	return t
+	return t, nil
 }
 
 // fragmentedAllocator builds the Fig. 15 initial state.

@@ -55,18 +55,26 @@ func TestPublicCatalogAccess(t *testing.T) {
 func TestRunnerMemoizes(t *testing.T) {
 	r := NewRunner(FigureConfig{Refs: 20_000, Suite: smallSuite(t)})
 	w := r.cfg.Suite[0]
-	a := r.run(w, SetupTPS, runFlags{})
-	b := r.run(w, SetupTPS, runFlags{})
+	a, err := r.run(w, SetupTPS, runFlags{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := r.run(w, SetupTPS, runFlags{})
+	if err != nil {
+		t.Fatal(err)
+	}
 	if a.MMU != b.MMU {
 		t.Error("memoized result differs")
 	}
-	if len(r.cache) != 1 {
-		t.Errorf("cache size=%d", len(r.cache))
+	if n := r.eng.size(); n != 1 {
+		t.Errorf("cache size=%d", n)
 	}
 	// A different flag combination is a different run.
-	r.run(w, SetupTPS, runFlags{smt: true})
-	if len(r.cache) != 2 {
-		t.Errorf("cache size=%d after distinct run", len(r.cache))
+	if _, err := r.run(w, SetupTPS, runFlags{smt: true}); err != nil {
+		t.Fatal(err)
+	}
+	if n := r.eng.size(); n != 2 {
+		t.Errorf("cache size=%d after distinct run", n)
 	}
 }
 
@@ -86,7 +94,7 @@ func smallSuite(t *testing.T) []Workload {
 
 func TestFigureTablesWellFormed(t *testing.T) {
 	r := NewRunner(FigureConfig{Refs: 20_000, Suite: smallSuite(t)})
-	figs := map[string]func() *Table{
+	figs := map[string]func() (*Table, error){
 		"fig9":  r.Fig9,
 		"fig10": r.Fig10,
 		"fig11": r.Fig11,
@@ -95,7 +103,10 @@ func TestFigureTablesWellFormed(t *testing.T) {
 		"fig18": r.Fig18,
 	}
 	for name, f := range figs {
-		tb := f()
+		tb, err := f()
+		if err != nil {
+			t.Fatalf("%s: %v", name, err)
+		}
 		if tb.Title == "" || len(tb.Header) == 0 || len(tb.Rows) == 0 {
 			t.Errorf("%s: malformed table %+v", name, tb)
 		}
@@ -109,7 +120,10 @@ func TestFigureTablesWellFormed(t *testing.T) {
 
 func TestFig15CoverageMonotone(t *testing.T) {
 	r := NewRunner(FigureConfig{Refs: 1, Suite: smallSuite(t)})
-	tb := r.Fig15()
+	tb, err := r.Fig15()
+	if err != nil {
+		t.Fatal(err)
+	}
 	if len(tb.Rows) != 19 {
 		t.Fatalf("rows=%d, want 19 page sizes", len(tb.Rows))
 	}
@@ -145,7 +159,10 @@ func TestSavableClamps(t *testing.T) {
 func TestEndToEndSmallFigure(t *testing.T) {
 	// A full figure over a tiny suite: exercises the whole stack.
 	r := NewRunner(FigureConfig{Refs: 20_000, Suite: smallSuite(t)})
-	tb := r.Fig10()
+	tb, err := r.Fig10()
+	if err != nil {
+		t.Fatal(err)
+	}
 	if len(tb.Rows) != 3 { // 2 workloads + average
 		t.Fatalf("rows=%d", len(tb.Rows))
 	}

@@ -7,6 +7,7 @@
 package sim
 
 import (
+	"errors"
 	"fmt"
 
 	"tps/internal/addr"
@@ -553,12 +554,36 @@ func addCoLT(a, b colt.Stats) colt.Stats {
 // runSMT interleaves two copies of the workload (seeds s and s+1000)
 // through one machine in fixed quanta, modeling an SMT sibling competing
 // for TLB resources (Figs. 2 and 14). Producers run in goroutines and
-// block on unbuffered channels, so the interleave is deterministic.
+// block on unbuffered channels, so the interleave is deterministic. When a
+// run aborts (a failed reference or mmap on either sibling), the shared
+// quit channel releases any producer blocked on a send and both producers
+// are joined before returning — no goroutine outlives the run.
 func runSMT(w workload.Workload, m *machine, counter *trace.CountingSink, opts Options) error {
 	const quantum = 8
+	quit := make(chan struct{})
 	threads := [2]*smtThread{
-		startSMTThread(w, opts.Seed, opts.Refs/2),
-		startSMTThread(w, opts.Seed+1000, opts.Refs/2),
+		startSMTThread(w, opts.Seed, opts.Refs/2, quit),
+		startSMTThread(w, opts.Seed+1000, opts.Refs/2, quit),
+	}
+	// join reaps both producers: once quit is closed (or the streams have
+	// ended) each one is guaranteed to finish, close its refs channel, and
+	// report on done. Aborted producers return errSMTAborted, which is the
+	// scheduler's doing, not a failure of their own.
+	join := func() error {
+		var first error
+		for _, t := range threads {
+			for range t.refs { // discard an in-flight send, then the close
+			}
+			if err := <-t.done; err != nil && !errors.Is(err, errSMTAborted) && first == nil {
+				first = err
+			}
+		}
+		return first
+	}
+	fail := func(err error) error {
+		close(quit)
+		join()
+		return err
 	}
 	live := 2
 	alive := [2]bool{true, true}
@@ -583,13 +608,13 @@ func runSMT(w workload.Workload, m *machine, counter *trace.CountingSink, opts O
 						counter.Writes++
 					}
 					if err := m.refAs(i, r); err != nil {
-						return err
+						return fail(err)
 					}
 					q++
 				case req := <-t.mmaps:
 					base, err := m.mmapAs(i, req.size)
 					if err != nil {
-						return err
+						return fail(err)
 					}
 					req.reply <- base
 				case name := <-t.phases:
@@ -605,12 +630,7 @@ func runSMT(w workload.Workload, m *machine, counter *trace.CountingSink, opts O
 			}
 		}
 	}
-	for _, t := range threads {
-		if err := <-t.done; err != nil {
-			return err
-		}
-	}
-	return nil
+	return join()
 }
 
 // smtThread is one SMT sibling's event channels.
@@ -619,6 +639,7 @@ type smtThread struct {
 	mmaps  chan mmapReq
 	phases chan string
 	done   chan error
+	quit   chan struct{} // closed by the scheduler to abandon the run
 }
 
 type mmapReq struct {
@@ -626,14 +647,19 @@ type mmapReq struct {
 	reply chan addr.Virt
 }
 
+// errSMTAborted is returned into a producer whose run the scheduler
+// abandoned; runSMT filters it out in favor of the original failure.
+var errSMTAborted = errors.New("sim: smt run aborted")
+
 // startSMTThread launches the workload generator as a coroutine feeding
 // the scheduler.
-func startSMTThread(w workload.Workload, seed int64, refs uint64) *smtThread {
+func startSMTThread(w workload.Workload, seed int64, refs uint64, quit chan struct{}) *smtThread {
 	t := &smtThread{
 		refs:   make(chan trace.Ref),
 		mmaps:  make(chan mmapReq),
 		phases: make(chan string),
 		done:   make(chan error, 1),
+		quit:   quit,
 	}
 	go func() {
 		err := w.Run(&smtSink{t: t}, refs, seed)
@@ -644,15 +670,27 @@ func startSMTThread(w workload.Workload, seed int64, refs uint64) *smtThread {
 }
 
 // smtSink adapts one SMT thread's workload callbacks onto the scheduler's
-// channels.
+// channels. Every send pairs with the quit channel so an abandoned
+// producer unblocks instead of leaking.
 type smtSink struct {
 	t *smtThread
 }
 
 func (s *smtSink) Mmap(size uint64) (addr.Virt, error) {
-	req := mmapReq{size: size, reply: make(chan addr.Virt)}
-	s.t.mmaps <- req
-	return <-req.reply, nil
+	// The reply channel is buffered so the scheduler's response can never
+	// block, even if this producer has already been quit.
+	req := mmapReq{size: size, reply: make(chan addr.Virt, 1)}
+	select {
+	case s.t.mmaps <- req:
+	case <-s.t.quit:
+		return 0, errSMTAborted
+	}
+	select {
+	case base := <-req.reply:
+		return base, nil
+	case <-s.t.quit:
+		return 0, errSMTAborted
+	}
 }
 
 func (s *smtSink) Munmap(base addr.Virt) error {
@@ -660,11 +698,25 @@ func (s *smtSink) Munmap(base addr.Virt) error {
 }
 
 func (s *smtSink) Ref(r trace.Ref) error {
-	s.t.refs <- r
-	return nil
+	// Fast path: once quit closes, stop immediately rather than racing the
+	// scheduler's drain loop one send at a time.
+	select {
+	case <-s.t.quit:
+		return errSMTAborted
+	default:
+	}
+	select {
+	case s.t.refs <- r:
+		return nil
+	case <-s.t.quit:
+		return errSMTAborted
+	}
 }
 
 // Phase implements trace.PhaseSink.
 func (s *smtSink) Phase(name string) {
-	s.t.phases <- name
+	select {
+	case s.t.phases <- name:
+	case <-s.t.quit:
+	}
 }

@@ -2,7 +2,9 @@ package sim
 
 import (
 	"math/rand"
+	"runtime"
 	"testing"
+	"time"
 
 	"tps/internal/addr"
 	"tps/internal/buddy"
@@ -294,6 +296,41 @@ func TestSMTIncreasesTLBPressure(t *testing.T) {
 	missRateSMT := float64(smt.MMU.L1Misses) / float64(smt.MMU.Accesses)
 	if missRateSMT <= missRateAlone {
 		t.Errorf("SMT miss rate=%.3f, alone=%.3f: competition missing", missRateSMT, missRateAlone)
+	}
+}
+
+// TestSMTErrorReturnsError: a failing cell under SMT reports the failure
+// instead of deadlocking or panicking.
+func TestSMTErrorReturnsError(t *testing.T) {
+	w := miniRandom(64 * miniMB)
+	// 256 base pages = 1 MB of memory: the init sweep exhausts it.
+	_, err := Run(w, Options{Setup: SetupTHP, SMT: true, Refs: 50_000, Seed: 1, MemoryPages: 256})
+	if err == nil {
+		t.Fatal("SMT run on a 1 MB machine should fail with out-of-memory")
+	}
+}
+
+// TestSMTErrorDoesNotLeakGoroutines is the regression test for the
+// producer leak: before the quit channel, an error abort left both
+// startSMTThread goroutines blocked forever on their unbuffered sends.
+func TestSMTErrorDoesNotLeakGoroutines(t *testing.T) {
+	w := miniRandom(64 * miniMB)
+	runtime.GC()
+	before := runtime.NumGoroutine()
+	for i := 0; i < 20; i++ {
+		_, err := Run(w, Options{Setup: SetupTHP, SMT: true, Refs: 50_000, Seed: 1, MemoryPages: 256})
+		if err == nil {
+			t.Fatal("expected out-of-memory failure")
+		}
+	}
+	// Producers are joined before Run returns, but give the runtime a
+	// moment to retire exiting goroutines before counting.
+	deadline := time.Now().Add(5 * time.Second)
+	for runtime.NumGoroutine() > before+2 && time.Now().Before(deadline) {
+		time.Sleep(10 * time.Millisecond)
+	}
+	if n := runtime.NumGoroutine(); n > before+2 {
+		t.Errorf("goroutines leaked across 20 failed SMT runs: before=%d after=%d", before, n)
 	}
 }
 
