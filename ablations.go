@@ -46,6 +46,7 @@ func (r *Runner) AblationAliasStrategy() (*Table, error) {
 		Title:  "Ablation: Alias PTE Strategy (extra-lookup vs full-copy)",
 		Header: []string{"benchmark", "walkrefs/walk (extra)", "walkrefs/walk (copy)", "PTE writes (extra)", "PTE writes (copy)"},
 	}
+	r.stream(t)
 	suite := r.ablationSuite()
 	extra := func(o *Options) { o.AliasStrategy = pagetable.ExtraLookup }
 	copyAll := func(o *Options) { o.AliasStrategy = pagetable.FullCopy }
@@ -76,6 +77,7 @@ func (r *Runner) AblationPromotionThreshold() (*Table, error) {
 		Header: []string{"workload", "threshold", "mapped pages", "touched pages", "bloat", "L1 misses"},
 		Notes:  []string{"touched = the 4K-only demand footprint; bloat = mapped/touched - 1"},
 	}
+	r.stream(t)
 	densities := []float64{0.9, 0.6}
 	thresholds := []float64{0.5, 0.75, 1.0}
 	base4K := func(o *Options) { o.Setup = SetupBase4K }
@@ -119,6 +121,7 @@ func (r *Runner) AblationReservationSizing() (*Table, error) {
 		Title:  "Ablation: Reservation Sizing (conservative exact-span vs aggressive round-up)",
 		Header: []string{"benchmark", "sizing", "reservations", "reserved pages", "L1 misses"},
 	}
+	r.stream(t)
 	suite := r.ablationSuite()
 	sizings := []vmm.Sizing{vmm.SizingConservative, vmm.SizingAggressive}
 	withSizing := func(sz vmm.Sizing) func(*Options) {
@@ -148,6 +151,7 @@ func (r *Runner) AblationTPSTLBSize() (*Table, error) {
 		Header: []string{"benchmark", "8", "16", "32", "64"},
 		Notes:  []string{"cells are L1 DTLB miss rates (misses per access)"},
 	}
+	r.stream(t)
 	suite := r.ablationSuite()
 	sizes := []int{8, 16, 32, 64}
 	withEntries := func(n int) func(*Options) {
@@ -179,6 +183,7 @@ func (r *Runner) AblationSkewedTLB() (*Table, error) {
 		Title:  "Ablation: TPS TLB Organization (fully associative vs skewed-associative, 32 entries)",
 		Header: []string{"benchmark", "FA miss rate", "skewed miss rate"},
 	}
+	r.stream(t)
 	suite := r.ablationSuite()
 	plain := func(o *Options) {}
 	skewed := func(o *Options) { o.TPSTLBSkewed = true }
@@ -206,6 +211,7 @@ func (r *Runner) AblationFiveLevel() (*Table, error) {
 		Title:  "Ablation: Four- vs Five-Level Page Tables (THP baseline vs TPS)",
 		Header: []string{"benchmark", "THP walkrefs (4-lvl)", "THP walkrefs (5-lvl)", "TPS walkrefs (5-lvl)"},
 	}
+	r.stream(t)
 	suite := r.ablationSuite()
 	run5 := func(w Workload, setup Setup) (Result, error) {
 		opts := Options{

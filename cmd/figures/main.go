@@ -4,7 +4,9 @@
 // not absolute cycle counts.
 //
 // Independent simulation cells fan out across a worker pool; rendered
-// output is byte-identical at any -parallel setting.
+// output is byte-identical at any -parallel setting. Long runs stream
+// per-row progress to stderr (-progress=false silences it), so stdout
+// stays the canonical, diffable output.
 //
 // Usage:
 //
@@ -13,28 +15,74 @@
 //	figures -ablations           # the design-choice ablations
 //	figures -refs 2000000        # deeper runs
 //	figures -all -parallel 8     # cap the worker pool at 8 simulations
+//	figures -fig 13 -cpuprofile cpu.pb.gz   # profile the hot loop
 package main
 
 import (
 	"flag"
 	"fmt"
 	"os"
+	"runtime"
+	"runtime/pprof"
+	rtrace "runtime/trace"
 
 	"tps"
 )
 
 func main() {
 	var (
-		fig       = flag.Int("fig", 0, "figure number to regenerate (2,3,8,9,...,18)")
-		all       = flag.Bool("all", false, "regenerate every table and figure")
-		ablations = flag.Bool("ablations", false, "run the design-choice ablations")
-		refs      = flag.Uint64("refs", 1<<20, "measured references per run")
-		seed      = flag.Int64("seed", 42, "workload generator seed")
-		parallel  = flag.Int("parallel", 0, "max concurrent simulations (0 = GOMAXPROCS, 1 = serial)")
+		fig        = flag.Int("fig", 0, "figure number to regenerate (2,3,8,9,...,18)")
+		all        = flag.Bool("all", false, "regenerate every table and figure")
+		ablations  = flag.Bool("ablations", false, "run the design-choice ablations")
+		refs       = flag.Uint64("refs", 1<<20, "measured references per run")
+		seed       = flag.Int64("seed", 42, "workload generator seed")
+		parallel   = flag.Int("parallel", 0, "max concurrent simulations (0 = GOMAXPROCS, 1 = serial)")
+		progress   = flag.Bool("progress", true, "stream per-row progress to stderr as cells finish")
+		cpuprofile = flag.String("cpuprofile", "", "write a CPU profile to this file")
+		memprofile = flag.String("memprofile", "", "write a heap profile to this file on exit")
+		tracefile  = flag.String("trace", "", "write a runtime execution trace to this file")
 	)
 	flag.Parse()
 
-	r := tps.NewRunner(tps.FigureConfig{Refs: *refs, Seed: *seed, Parallelism: *parallel})
+	if *cpuprofile != "" {
+		f, err := os.Create(*cpuprofile)
+		if err != nil {
+			fatal(err)
+		}
+		if err := pprof.StartCPUProfile(f); err != nil {
+			fatal(err)
+		}
+		defer pprof.StopCPUProfile()
+	}
+	if *tracefile != "" {
+		f, err := os.Create(*tracefile)
+		if err != nil {
+			fatal(err)
+		}
+		if err := rtrace.Start(f); err != nil {
+			fatal(err)
+		}
+		defer rtrace.Stop()
+	}
+	if *memprofile != "" {
+		defer func() {
+			f, err := os.Create(*memprofile)
+			if err != nil {
+				fatal(err)
+			}
+			defer f.Close()
+			runtime.GC()
+			if err := pprof.WriteHeapProfile(f); err != nil {
+				fatal(err)
+			}
+		}()
+	}
+
+	cfg := tps.FigureConfig{Refs: *refs, Seed: *seed, Parallelism: *parallel}
+	if *progress {
+		cfg.Progress = os.Stderr
+	}
+	r := tps.NewRunner(cfg)
 
 	figures := map[int]func() (*tps.Table, error){
 		1:  func() (*tps.Table, error) { return tps.TableI(), nil },
@@ -76,13 +124,17 @@ func main() {
 	}
 }
 
+func fatal(err error) {
+	fmt.Fprintf(os.Stderr, "figures: %v\n", err)
+	os.Exit(1)
+}
+
 // render runs one figure and prints it, or reports the failure and exits
 // nonzero — a failed cell is a diagnosis, not a stack trace.
 func render(f func() (*tps.Table, error)) {
 	t, err := f()
 	if err != nil {
-		fmt.Fprintf(os.Stderr, "figures: %v\n", err)
-		os.Exit(1)
+		fatal(err)
 	}
 	fmt.Println(t.Render())
 }

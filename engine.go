@@ -72,8 +72,20 @@ func (e *engine) parallelism() int { return cap(e.sem) }
 // deterministically, by the first assembly-order run that needs the failed
 // cell. With Parallelism 1 warm is a no-op: cells run on demand, in order,
 // exactly as the serial runner did.
+//
+// Streaming mode (FigureConfig.Progress set) fires the thunks and returns
+// without waiting: the serial assembly then blocks per cell in row order
+// and flushes each row to the progress writer as its cells land, instead
+// of going silent until the whole grid settles. The rendered output is
+// identical either way — only who waits changes.
 func (r *Runner) warm(runs ...func()) {
 	if r.eng.parallelism() <= 1 || len(runs) <= 1 {
+		return
+	}
+	if r.cfg.Progress != nil {
+		for _, f := range runs {
+			go f()
+		}
 		return
 	}
 	var wg sync.WaitGroup

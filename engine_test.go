@@ -1,7 +1,9 @@
 package tps
 
 import (
+	"bytes"
 	"reflect"
+	"strings"
 	"sync"
 	"sync/atomic"
 	"testing"
@@ -127,6 +129,47 @@ func TestParallelMatchesSerial(t *testing.T) {
 			if !reflect.DeepEqual(sres, pres) {
 				t.Errorf("%s/%v: Result differs between serial and parallel", w.Name, setup)
 			}
+		}
+	}
+}
+
+// TestStreamingMatchesSerial: with a progress writer configured, warm is
+// fire-and-forget and rows flush to the writer as cells land — but the
+// rendered table must still be byte-identical to the non-streaming serial
+// run, and the stream must carry the title plus every row in order.
+func TestStreamingMatchesSerial(t *testing.T) {
+	cfg := FigureConfig{Refs: 20_000, Suite: smallSuite(t)}
+	serialCfg := cfg
+	serialCfg.Parallelism = 1
+	serial, err := NewRunner(serialCfg).Fig10()
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	var buf bytes.Buffer
+	streamCfg := cfg
+	streamCfg.Parallelism = 4
+	streamCfg.Progress = &buf
+	streamed, err := NewRunner(streamCfg).Fig10()
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	if serial.Render() != streamed.Render() {
+		t.Errorf("streaming changed rendered output:\n--- serial ---\n%s--- streamed ---\n%s",
+			serial.Render(), streamed.Render())
+	}
+	got := buf.String()
+	if !strings.HasPrefix(got, streamed.Title+"\n") {
+		t.Errorf("stream missing leading title %q:\n%s", streamed.Title, got)
+	}
+	lines := strings.Split(strings.TrimSuffix(got, "\n"), "\n")
+	if want := 1 + len(streamed.Rows); len(lines) != want {
+		t.Errorf("stream has %d lines, want %d (title + one per row):\n%s", len(lines), want, got)
+	}
+	for i, row := range streamed.Rows {
+		if want := "  " + strings.Join(row, "\t"); lines[i+1] != want {
+			t.Errorf("stream line %d = %q, want %q", i+1, lines[i+1], want)
 		}
 	}
 }

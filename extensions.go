@@ -24,6 +24,7 @@ func (r *Runner) ExtCompactionDaemon() (*Table, error) {
 			"re-homing a fragmented chunk needs one chunk of free headroom: workloads filling nearly all free memory (xsbench) cannot consolidate",
 		},
 	}
+	r.stream(t)
 	var suite []Workload
 	for _, name := range []string{"gups", "graph500", "xsbench"} {
 		if w, ok := WorkloadByName(name); ok {
@@ -93,6 +94,7 @@ func (r *Runner) ExtCowPolicies() (*Table, error) {
 		Header: []string{"policy", "cow faults", "pages copied", "pages mapping region", "sys cycles"},
 		Notes:  []string{"one 64 MB shared region; 1% of its pages written after cloning"},
 	}
+	r.stream(t)
 	for _, policy := range []vmm.CowPolicy{vmm.CowSplit, vmm.CowFull} {
 		res := vmm.CowExperiment(policy, 64<<20, 0.01, r.cfg.Seed)
 		t.AddRow(policy.String(),

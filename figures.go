@@ -2,6 +2,7 @@ package tps
 
 import (
 	"fmt"
+	"io"
 	"sort"
 
 	"tps/internal/addr"
@@ -26,6 +27,12 @@ type FigureConfig struct {
 	// output is byte-identical at any setting: each cell is an
 	// independent deterministic machine and tables assemble serially.
 	Parallelism int
+	// Progress, when set, streams each table's rows there as their cells
+	// land (cmd/figures points it at stderr), so long runs show progress
+	// instead of going silent. Prefetch becomes fire-and-forget and the
+	// serial assembly blocks per cell in row order; the rendered output
+	// is still byte-identical — only the live view is new.
+	Progress io.Writer
 }
 
 func (c FigureConfig) withDefaults() FigureConfig {
@@ -74,6 +81,16 @@ type runKey struct {
 func NewRunner(cfg FigureConfig) *Runner {
 	cfg = cfg.withDefaults()
 	return &Runner{cfg: cfg, eng: newEngine(cfg.Parallelism)}
+}
+
+// stream attaches the Runner's progress writer (if any) to a freshly
+// constructed table, announcing its title so the live view shows which
+// figure the subsequently streamed rows belong to.
+func (r *Runner) stream(t *Table) {
+	if w := r.cfg.Progress; w != nil {
+		t.Stream = w
+		fmt.Fprintf(w, "%s\n", t.Title)
+	}
 }
 
 type runFlags struct{ smt, virt, frag, cyc bool }
@@ -150,6 +167,7 @@ func (r *Runner) Fig2() (*Table, error) {
 		Title:  "Figure 2: Page Walk Overhead — Percent of Execution Time Spent Page Walking (THP)",
 		Header: []string{"benchmark", "native", "native+SMT", "virtualized"},
 	}
+	r.stream(t)
 	r.warmSuite(r.cfg.Suite, []Setup{SetupTHP},
 		runFlags{cyc: true}, runFlags{cyc: true, smt: true}, runFlags{cyc: true, virt: true})
 	for _, w := range r.cfg.Suite {
@@ -180,6 +198,7 @@ func (r *Runner) Fig3() (*Table, error) {
 		Title:  "Figure 3: Speedup of Perfect L1 TLB over Perfect L2 TLB Baseline",
 		Header: []string{"benchmark", "speedup"},
 	}
+	r.stream(t)
 	r.warmSuite(r.cfg.Suite, []Setup{SetupTHP}, runFlags{cyc: true})
 	for _, w := range r.cfg.Suite {
 		res, err := r.run(w, SetupTHP, runFlags{cyc: true})
@@ -199,6 +218,7 @@ func (r *Runner) Fig8() (*Table, error) {
 		Title:  "Figure 8: L1 DTLB MPKI (THP active; MPKI > 5 selected for evaluation)",
 		Header: []string{"benchmark", "MPKI", "selected"},
 	}
+	r.stream(t)
 	all := Workloads()
 	r.warmSuite(all, []Setup{SetupTHP})
 	type row struct {
@@ -232,6 +252,7 @@ func (r *Runner) Fig9() (*Table, error) {
 		Title:  "Figure 9: Increase in Memory Utilization with Exclusive 2MB Pages",
 		Header: []string{"benchmark", "4K pages", "2M-only pages", "increase"},
 	}
+	r.stream(t)
 	r.warmSuite(r.cfg.Suite, []Setup{SetupBase4K, Setup2MOnly})
 	for _, w := range r.cfg.Suite {
 		four, err := r.run(w, SetupBase4K, runFlags{})
@@ -259,6 +280,7 @@ func (r *Runner) Fig10() (*Table, error) {
 		Header: []string{"benchmark", "TPS", "CoLT", "RMM"},
 		Notes:  []string{"negative eliminations clamp to 0, as in the paper's RMM discussion"},
 	}
+	r.stream(t)
 	r.warmSuite(r.cfg.Suite, []Setup{SetupTHP, SetupTPS, SetupCoLT, SetupRMM})
 	var sums [3]float64
 	for _, w := range r.cfg.Suite {
@@ -290,6 +312,7 @@ func (r *Runner) Fig11() (*Table, error) {
 		Header: []string{"benchmark", "TPS", "RMM", "CoLT", "TPS-eager"},
 		Notes:  []string{"RMM range-walker fetches count as walk references"},
 	}
+	r.stream(t)
 	r.warmSuite(r.cfg.Suite, []Setup{SetupTHP, SetupTPS, SetupRMM, SetupCoLT, SetupTPSEager})
 	var sums [4]float64
 	for _, w := range r.cfg.Suite {
@@ -322,6 +345,7 @@ func (r *Runner) Fig12() (*Table, error) {
 		Title:  "Figure 12: Savable Page Walker Cycles",
 		Header: []string{"benchmark", "savable"},
 	}
+	r.stream(t)
 	r.warmSuite(r.cfg.Suite, []Setup{SetupBase4K, SetupTHP}, runFlags{cyc: true})
 	for _, w := range r.cfg.Suite {
 		d, err := r.run(w, SetupBase4K, runFlags{cyc: true}) // THP disabled
@@ -379,6 +403,7 @@ func (r *Runner) speedupFigure(smt bool, title string) (*Table, error) {
 			"T = T_IDEAL + T_L1DTLBM + T_PW; overhead terms scaled by measured elimination ratios",
 		},
 	}
+	r.stream(t)
 	r.warmSuite(r.cfg.Suite, []Setup{SetupTHP}, runFlags{cyc: true, smt: smt})
 	r.warmSuite(r.cfg.Suite, []Setup{SetupTHP, SetupTPS, SetupRMM, SetupCoLT}, runFlags{smt: smt})
 	var sums [4]float64
@@ -427,6 +452,7 @@ func (r *Runner) Fig15() (*Table, error) {
 		Header: []string{"page size", "coverage"},
 		Notes:  []string{"state produced by allocation/free churn to 35% free (see internal/fragstate)"},
 	}
+	r.stream(t)
 	bud := fragmentedAllocator(r.cfg)
 	cov := bud.Coverage()
 	for o := addr.Order(0); o <= addr.Order1G; o++ {
@@ -443,6 +469,7 @@ func (r *Runner) Fig16() (*Table, error) {
 		Header: []string{"benchmark", "TPS"},
 		Notes:  []string{"baseline: reservation-based THP on the same fragmented state"},
 	}
+	r.stream(t)
 	r.warmSuite(r.cfg.Suite, []Setup{SetupTHP, SetupTPS}, runFlags{frag: true})
 	for _, w := range r.cfg.Suite {
 		thp, err := r.run(w, SetupTHP, runFlags{frag: true})
@@ -472,6 +499,7 @@ func (r *Runner) Fig17() (*Table, error) {
 			"steady state excludes the one-time fault-in/zeroing burst; the startup column is inflated by the scaled-down run length",
 		},
 	}
+	r.stream(t)
 	r.warmSuite(r.cfg.Suite, []Setup{SetupTPS}, runFlags{cyc: true})
 	var sum float64
 	for _, w := range r.cfg.Suite {
@@ -494,6 +522,7 @@ func (r *Runner) Fig18() (*Table, error) {
 		Title:  "Figure 18: TPS Per-Benchmark Page Size Counts",
 		Header: []string{"benchmark"},
 	}
+	r.stream(t)
 	for o := addr.Order(0); o <= addr.Order1G; o++ {
 		t.Header = append(t.Header, o.String())
 	}

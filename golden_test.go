@@ -1,0 +1,54 @@
+package tps
+
+// Golden-output regression test: regenerates one small figure at the seed
+// configuration and compares byte-for-byte against a checked-in golden
+// file. Any change to workload generation, the translation path, TLB
+// replacement, or table rendering that shifts a modeled statistic shows up
+// here as a diff — performance work must keep this output identical.
+//
+// Refresh deliberately (after a change that intends to alter results):
+//
+//	go test -run TestFig10Golden -update .
+
+import (
+	"flag"
+	"os"
+	"testing"
+)
+
+var update = flag.Bool("update", false, "rewrite golden files from current output")
+
+func TestFig10Golden(t *testing.T) {
+	// gcc is the suite's smallest TLB-intensive footprint (208 MB): its
+	// init sweep faults, promotes, and walks like the full-size runs while
+	// keeping the test in tier-1 time. leela adds the cache-friendly,
+	// low-MPKI end of the spectrum.
+	var suite []Workload
+	for _, name := range []string{"gcc", "leela"} {
+		w, ok := WorkloadByName(name)
+		if !ok {
+			t.Fatalf("%s missing from catalog", name)
+		}
+		suite = append(suite, w)
+	}
+	r := NewRunner(FigureConfig{Refs: 20000, Seed: 42, Suite: suite, Parallelism: 1})
+	tbl, err := r.Fig10()
+	if err != nil {
+		t.Fatal(err)
+	}
+	got := tbl.Render()
+
+	const golden = "testdata/fig10_refs20000_seed42.golden"
+	if *update {
+		if err := os.WriteFile(golden, []byte(got), 0o644); err != nil {
+			t.Fatal(err)
+		}
+	}
+	want, err := os.ReadFile(golden)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got != string(want) {
+		t.Errorf("Figure 10 output diverged from %s (run with -update to refresh deliberately)\ngot:\n%s\nwant:\n%s", golden, got, want)
+	}
+}

@@ -29,8 +29,12 @@ type Model struct {
 	instrs uint64  // instructions fetched so far
 	clock  float64 // current cycle
 
-	// outstanding loads: fetch index and completion time, oldest first.
-	out []outEntry
+	// outstanding loads, oldest first, in a fixed ring of MLP slots (the
+	// MSHR drain below keeps occupancy at or under MLP, so the ring never
+	// grows and the steady state allocates nothing).
+	out  []outEntry
+	head int // ring index of the oldest outstanding load
+	live int // outstanding-load count
 
 	lastLoadDone float64 // completion of the most recent load (dep chains)
 
@@ -53,7 +57,19 @@ func New(p Params) *Model {
 	if p.MLP <= 0 {
 		p.MLP = 10
 	}
-	return &Model{p: p}
+	return &Model{p: p, out: make([]outEntry, p.MLP)}
+}
+
+// oldest returns the oldest outstanding load; call only with live > 0.
+func (m *Model) oldest() outEntry { return m.out[m.head] }
+
+// popOldest retires the oldest outstanding load.
+func (m *Model) popOldest() {
+	m.head++
+	if m.head == len(m.out) {
+		m.head = 0
+	}
+	m.live--
 }
 
 // Instr accounts n non-memory instructions.
@@ -85,26 +101,31 @@ func (m *Model) Ref(dep bool, latency uint64) {
 
 	// ROB limit: the oldest incomplete load blocks retirement; once the
 	// window fills, the pipeline waits for it.
-	for len(m.out) > 0 && m.instrs-m.out[0].fetchIdx >= uint64(m.p.ROB) {
-		if m.out[0].done > issue {
-			m.memStall += m.out[0].done - issue
-			issue = m.out[0].done
+	for m.live > 0 && m.instrs-m.oldest().fetchIdx >= uint64(m.p.ROB) {
+		if d := m.oldest().done; d > issue {
+			m.memStall += d - issue
+			issue = d
 			m.clock = issue
 		}
-		m.out = m.out[1:]
+		m.popOldest()
 	}
 	// MSHR limit: bounded memory-level parallelism.
-	for len(m.out) >= m.p.MLP {
-		if m.out[0].done > issue {
-			m.memStall += m.out[0].done - issue
-			issue = m.out[0].done
+	for m.live >= m.p.MLP {
+		if d := m.oldest().done; d > issue {
+			m.memStall += d - issue
+			issue = d
 			m.clock = issue
 		}
-		m.out = m.out[1:]
+		m.popOldest()
 	}
 
 	done := issue + float64(latency)
-	m.out = append(m.out, outEntry{fetchIdx: m.instrs, done: done})
+	tail := m.head + m.live
+	if tail >= len(m.out) {
+		tail -= len(m.out)
+	}
+	m.out[tail] = outEntry{fetchIdx: m.instrs, done: done}
+	m.live++
 	m.lastLoadDone = done
 }
 
@@ -115,8 +136,12 @@ func (m *Model) Cycles() uint64 {
 	if f := m.frontier(); f > c {
 		c = f
 	}
-	for _, o := range m.out {
-		if o.done > c {
+	for i := 0; i < m.live; i++ {
+		j := m.head + i
+		if j >= len(m.out) {
+			j -= len(m.out)
+		}
+		if o := m.out[j]; o.done > c {
 			c = o.done
 		}
 	}

@@ -1,0 +1,62 @@
+package mmu
+
+// Allocation regression tests for the translation fast path: the
+// steady-state (no-fault) Translate flows must not allocate, or sweep
+// throughput collapses under GC pressure. Guards the zero-allocation
+// contract the RefLoop benchmarks measure.
+
+import (
+	"testing"
+
+	"tps/internal/addr"
+)
+
+// allocsPerTranslate measures allocations per call while cycling
+// translations over `pages` primed order-o pages.
+func allocsPerTranslate(t *testing.T, org Organization, o addr.Order, pages int) float64 {
+	t.Helper()
+	table := benchTable(t, benchBase, o, pages)
+	m := New(DefaultConfig(org), table, nil, nil)
+	step := uint64(o.PageSize())
+	for i := 0; i < pages; i++ {
+		if _, err := m.Translate(benchBase+addr.Virt(uint64(i)*step), false); err != nil {
+			t.Fatal(err)
+		}
+	}
+	i := 0
+	return testing.AllocsPerRun(1000, func() {
+		v := benchBase + addr.Virt(uint64(i%pages)*step)
+		i++
+		if _, err := m.Translate(v, true); err != nil {
+			t.Fatal(err)
+		}
+	})
+}
+
+func TestTranslateSteadyStateAllocs(t *testing.T) {
+	cases := []struct {
+		name  string
+		org   Organization
+		order addr.Order
+		pages int
+	}{
+		// L1-hit paths: working set within the first-level TLBs.
+		{"L1Hit/conventional-4K", OrgConventional, 0, 16},
+		{"L1Hit/conventional-2M", OrgConventional, addr.Order2M, 16},
+		{"L1Hit/tps-4K", OrgTPS, 0, 16},
+		{"L1Hit/tps-64K", OrgTPS, 4, 16},
+		// STLB-hit paths: beyond the 64-entry 4K L1, within the STLB.
+		{"STLBHit/conventional", OrgConventional, 0, 512},
+		{"STLBHit/tps", OrgTPS, 0, 512},
+		// Full-walk steady state (PWC-assisted, no faults).
+		{"Walk/conventional", OrgConventional, 0, 4096},
+		{"Walk/tps", OrgTPS, 0, 4096},
+	}
+	for _, c := range cases {
+		t.Run(c.name, func(t *testing.T) {
+			if got := allocsPerTranslate(t, c.org, c.order, c.pages); got != 0 {
+				t.Fatalf("steady-state Translate allocates %.2f allocs/op, want 0", got)
+			}
+		})
+	}
+}

@@ -1,0 +1,87 @@
+package mmu
+
+// Microbenchmarks for the translation fast path: the steady-state L1-hit,
+// STLB-hit, and full-walk flows, per L1 organization. Run with
+//
+//	go test -run='^$' -bench=Translate -benchmem ./internal/mmu
+//
+// and compare across commits with benchstat. The companion allocation
+// regression test (alloc_test.go) pins the no-fault paths at 0 allocs/op.
+
+import (
+	"testing"
+
+	"tps/internal/addr"
+	"tps/internal/pagetable"
+	"tps/internal/pte"
+)
+
+// benchTable maps `pages` order-o pages contiguously from base and returns
+// the table.
+func benchTable(tb testing.TB, base addr.Virt, o addr.Order, pages int) *pagetable.Table {
+	tb.Helper()
+	t := pagetable.New(addr.Levels4, pagetable.ExtraLookup)
+	step := addr.Virt(o.PageSize())
+	pfn := addr.PFN(1 << 20)
+	for i := 0; i < pages; i++ {
+		v := base + addr.Virt(i)*step
+		if err := t.Map(v, pfn, o, pte.FlagWrite|pte.FlagUser|pte.FlagAccessed|pte.FlagDirty); err != nil {
+			tb.Fatal(err)
+		}
+		pfn += addr.PFN(o.Pages())
+	}
+	return t
+}
+
+const benchBase = addr.Virt(1) << 40
+
+// benchTranslate drives Translate over `pages` mapped order-o pages with
+// the given page stride pattern, after a priming pass that warms every
+// structure the pattern can hit.
+func benchTranslate(b *testing.B, org Organization, o addr.Order, pages int) {
+	table := benchTable(b, benchBase, o, pages)
+	m := New(DefaultConfig(org), table, nil, nil)
+	step := uint64(o.PageSize())
+	// Prime: touch every page once so the timed loop is steady state.
+	for i := 0; i < pages; i++ {
+		if _, err := m.Translate(benchBase+addr.Virt(uint64(i)*step), false); err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		v := benchBase + addr.Virt(uint64(i%pages)*step)
+		if _, err := m.Translate(v, false); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkTranslateHit is the L1-hit fast path: the working set fits in
+// the L1 TLB, so after priming every translation hits the first level.
+func BenchmarkTranslateHit(b *testing.B) {
+	b.Run("conventional-4K", func(b *testing.B) { benchTranslate(b, OrgConventional, 0, 16) })
+	b.Run("conventional-2M", func(b *testing.B) { benchTranslate(b, OrgConventional, addr.Order2M, 16) })
+	b.Run("tps-4K", func(b *testing.B) { benchTranslate(b, OrgTPS, 0, 16) })
+	b.Run("tps-64K", func(b *testing.B) { benchTranslate(b, OrgTPS, 4, 16) })
+	b.Run("tps-2M", func(b *testing.B) { benchTranslate(b, OrgTPS, addr.Order2M, 16) })
+}
+
+// BenchmarkTranslateSTLBHit sizes the working set beyond the 64-entry 4K
+// L1 but within the 1536-entry STLB, so the steady state is an L1 miss
+// resolved by the unified L2.
+func BenchmarkTranslateSTLBHit(b *testing.B) {
+	b.Run("conventional", func(b *testing.B) { benchTranslate(b, OrgConventional, 0, 512) })
+	b.Run("tps", func(b *testing.B) { benchTranslate(b, OrgTPS, 0, 512) })
+}
+
+// BenchmarkTranslateWalk sizes the working set beyond the STLB, so the
+// steady state is a full page walk (with PWC hits on upper levels).
+func BenchmarkTranslateWalk(b *testing.B) {
+	b.Run("conventional", func(b *testing.B) { benchTranslate(b, OrgConventional, 0, 4096) })
+	b.Run("tps", func(b *testing.B) { benchTranslate(b, OrgTPS, 0, 4096) })
+	// Tailored multi-slot pages land on alias PTEs three accesses in four:
+	// the ExtraLookup cost the paper's Fig. 6 models.
+	b.Run("tps-tailored-16K", func(b *testing.B) { benchTranslate(b, OrgTPS, 2, 2048) })
+}

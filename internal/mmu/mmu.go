@@ -152,6 +152,7 @@ type Hardware struct {
 	l12m  *tlb.SetAssoc   // conventional/CoLT orgs
 	l11g  *tlb.FullyAssoc // conventional/CoLT orgs
 	tpsL1 tlb.TLB         // TPS org: fully associative or skewed-associative
+	tpsFA *tlb.FullyAssoc // tpsL1 devirtualized when fully associative
 
 	stlb   *tlb.SetAssoc
 	stlb1g *tlb.SetAssoc
@@ -180,7 +181,8 @@ func NewHardware(cfg Config) *Hardware {
 			}
 			h.tpsL1 = tlb.NewSkewed("L1D-TPS-skewed", 4, sets)
 		} else {
-			h.tpsL1 = tlb.NewFullyAssoc("L1D-TPS", cfg.TPSTLBEntries)
+			h.tpsFA = tlb.NewFullyAssoc("L1D-TPS", cfg.TPSTLBEntries)
+			h.tpsL1 = h.tpsFA
 		}
 	case OrgCoLT:
 		// CoLT-SA: each L1 holds clusters of 1..8 contiguous same-size
@@ -307,17 +309,22 @@ type Result struct {
 	ADWrite  bool
 }
 
-// Translate performs the full translation flow for a data access.
+// Translate performs the full translation flow for a data access. The
+// steady-state paths (L1 hit, STLB hit) build the Result in a single local
+// mutated in place and allocate nothing.
 func (m *MMU) Translate(v addr.Virt, write bool) (Result, error) {
 	m.stats.Accesses++
 	vpn := v.PageNumber()
 
 	tvpn := m.tagVPN(vpn)
+	var r Result
 
 	// L1: the split structures are probed in parallel in hardware.
 	if e, hit := m.lookupL1(tvpn); hit {
 		m.stats.L1Hits++
-		return m.finish(v, e, Result{L1Hit: true}, write)
+		r.L1Hit = true
+		err := m.finish(v, tvpn, e, &r, write)
+		return r, err
 	}
 	m.stats.L1Misses++
 
@@ -333,7 +340,9 @@ func (m *MMU) Translate(v addr.Virt, write bool) (Result, error) {
 			}))
 		}
 		m.installL1(e)
-		return m.finish(v, e, Result{STLBHit: true}, write)
+		r.STLBHit = true
+		err := m.finish(v, tvpn, e, &r, write)
+		return r, err
 	}
 	m.stats.STLBMisses++
 	if m.sidecar != nil {
@@ -341,7 +350,9 @@ func (m *MMU) Translate(v addr.Virt, write bool) (Result, error) {
 			m.stats.SidecarHits++
 			e = m.tagEntry(e)
 			m.installL1(e)
-			return m.finish(v, e, Result{Sidecar: true}, write)
+			r.Sidecar = true
+			err := m.finish(v, tvpn, e, &r, write)
+			return r, err
 		}
 	}
 
@@ -371,8 +382,10 @@ func (m *MMU) Translate(v addr.Virt, write bool) (Result, error) {
 	m.installSTLB(identity)
 	entry := m.tagEntry(m.entryFor(res))
 	m.installL1(entry)
-	r := Result{Walked: true, WalkRefs: refs}
-	return m.finish(v, entry, r, write)
+	r.Walked = true
+	r.WalkRefs = refs
+	err = m.finish(v, tvpn, entry, &r, write)
+	return r, err
 }
 
 // ErrWriteProtected reports a store to a read-only mapping (the
@@ -380,12 +393,13 @@ func (m *MMU) Translate(v addr.Virt, write bool) (Result, error) {
 var ErrWriteProtected = fmt.Errorf("mmu: write to read-only page")
 
 // finish completes a translation through entry e: physical address, A/D
-// maintenance, result assembly.
-func (m *MMU) finish(v addr.Virt, e tlb.Entry, r Result, write bool) (Result, error) {
+// maintenance, result assembly. tvpn is the caller's already-tagged VPN
+// for v; r is mutated in place.
+func (m *MMU) finish(v addr.Virt, tvpn addr.VPN, e tlb.Entry, r *Result, write bool) error {
 	if write && e.Flags&pte.FlagWrite == 0 {
-		return r, ErrWriteProtected
+		return ErrWriteProtected
 	}
-	pfnBase := e.Translate(m.tagVPN(v.PageNumber()))
+	pfnBase := e.Translate(tvpn)
 	r.Phys = pfnBase.Addr() + addr.Phys(v.Offset(0))
 	r.Order = e.Order
 
@@ -395,7 +409,7 @@ func (m *MMU) finish(v addr.Virt, e tlb.Entry, r Result, write bool) (Result, er
 	if needA || needD {
 		updated, err := m.table.SetAccessedDirty(v, write)
 		if err != nil {
-			return r, err
+			return err
 		}
 		if updated {
 			m.stats.ADWrites++
@@ -407,7 +421,7 @@ func (m *MMU) finish(v addr.Virt, e tlb.Entry, r Result, write bool) (Result, er
 		}
 		m.refreshL1(e)
 	}
-	return r, nil
+	return nil
 }
 
 func (m *MMU) lookupL1(vpn addr.VPN) (tlb.Entry, bool) {
@@ -415,6 +429,9 @@ func (m *MMU) lookupL1(vpn addr.VPN) (tlb.Entry, bool) {
 		return e, true
 	}
 	if m.cfg.Org == OrgTPS {
+		if fa := m.hw.tpsFA; fa != nil {
+			return fa.Lookup(vpn)
+		}
 		return m.hw.tpsL1.Lookup(vpn)
 	}
 	if e, hit := m.hw.l12m.Lookup(vpn); hit {

@@ -1,0 +1,109 @@
+package sim
+
+// BenchmarkRefLoop measures the steady-state cost of one simulated memory
+// reference — the machine.refAs → vmm.Kernel.Access → mmu.Translate → TLB
+// probe chain — per translation setup. The reference pattern is
+// pregenerated (no rand in the timed loop), so ns/op is ns per simulated
+// reference through the production delivery path, directly comparable
+// across commits with benchstat.
+//
+//	go test -run='^$' -bench=RefLoop -benchmem ./internal/sim
+
+import (
+	"testing"
+
+	"tps/internal/addr"
+	"tps/internal/trace"
+)
+
+// benchFootprint is sized to exceed the 4K L1 TLB reach (256 KB) and the
+// 4K STLB reach (6 MB) so every setup exercises its full hierarchy, while
+// staying cheap to fault in.
+const benchFootprint = 64 << 20 // 64 MB
+
+// benchPattern synthesizes a deterministic steady-state access stream over
+// [base, base+bytes): sequential runs (TLB-friendly) interleaved with
+// LCG-scattered jumps (TLB-stressing), roughly the texture of the chase
+// and stream generators without their generation cost.
+func benchPattern(base addr.Virt, bytes uint64, n int) []trace.Ref {
+	refs := make([]trace.Ref, n)
+	words := bytes / 8
+	state := uint64(12345)
+	var seq uint64
+	for i := range refs {
+		var off uint64
+		if i%4 == 3 {
+			// Scattered jump (LCG-driven).
+			state = state*6364136223846793005 + 1442695040888963407
+			off = (state >> 11) % words * 8
+			seq = off
+		} else {
+			seq = (seq + 64) % bytes
+			off = seq
+		}
+		refs[i] = trace.Ref{
+			Addr:  base + addr.Virt(off),
+			Write: i%8 == 0,
+			Gap:   4,
+		}
+	}
+	return refs
+}
+
+// benchMachine assembles a machine for the options and faults in a region
+// so the timed loop measures steady state (no faults, no promotions).
+func benchMachine(tb testing.TB, opts Options) (*machine, []trace.Ref) {
+	tb.Helper()
+	if opts.MemoryPages == 0 {
+		opts.MemoryPages = 1 << 20
+	}
+	m := newMachine(opts)
+	base, err := m.Mmap(benchFootprint)
+	if err != nil {
+		tb.Fatal(err)
+	}
+	for off := uint64(0); off < benchFootprint; off += addr.BasePageSize {
+		if err := m.Ref(trace.Ref{Addr: base + addr.Virt(off), Write: true, Gap: 256}); err != nil {
+			tb.Fatal(err)
+		}
+	}
+	return m, benchPattern(base, benchFootprint, 1<<15)
+}
+
+// benchRefLoop delivers the pattern through RefBatch in Batcher-sized
+// chunks — the production delivery path — so ns/op is ns per simulated
+// reference as sim.Run pays it.
+func benchRefLoop(b *testing.B, opts Options) {
+	m, pat := benchMachine(b, opts)
+	const chunk = 512
+	b.ReportAllocs()
+	b.ResetTimer()
+	for n := 0; n < b.N; {
+		k := len(pat)
+		if left := b.N - n; left < k {
+			k = left
+		}
+		for off := 0; off < k; off += chunk {
+			end := off + chunk
+			if end > k {
+				end = k
+			}
+			if err := m.RefBatch(pat[off:end]); err != nil {
+				b.Fatal(err)
+			}
+		}
+		n += k
+	}
+}
+
+func BenchmarkRefLoop(b *testing.B) {
+	for _, s := range []Setup{SetupBase4K, SetupTHP, SetupTPS, SetupCoLT, SetupRMM} {
+		b.Run(s.String(), func(b *testing.B) { benchRefLoop(b, Options{Setup: s}) })
+	}
+}
+
+// BenchmarkRefLoopCycleModel includes the data-cache and OOO timing models
+// (the Fig. 2/13/14 configuration), the most expensive per-ref path.
+func BenchmarkRefLoopCycleModel(b *testing.B) {
+	benchRefLoop(b, Options{Setup: SetupTHP, CycleModel: true})
+}

@@ -363,6 +363,32 @@ func (m *machine) Munmap(base addr.Virt) error { return m.procs[0].kernel.Munmap
 // Ref implements trace.Sink (thread 0).
 func (m *machine) Ref(r trace.Ref) error { return m.refAs(0, r) }
 
+// RefBatch implements trace.BatchSink (thread 0): the production delivery
+// path for non-SMT runs — one virtual call per buffer, then a tight slice
+// walk.
+func (m *machine) RefBatch(refs []trace.Ref) error {
+	if m.opts.CompactEvery == 0 && m.caches == nil {
+		// Functional mode does nothing per reference beyond the
+		// translation itself, so drive the MMU straight from the slice.
+		p := m.procs[0]
+		for i := range refs {
+			res, err := p.mmu.Translate(refs[i].Addr, refs[i].Write)
+			if err != nil {
+				if _, err = p.kernel.Resolve(refs[i].Addr, refs[i].Write, res, err); err != nil {
+					return err
+				}
+			}
+		}
+		return nil
+	}
+	for i := range refs {
+		if err := m.refAs(0, refs[i]); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
 func (m *machine) mmapAs(t int, size uint64) (addr.Virt, error) {
 	return m.procs[t].kernel.Mmap(size, 0)
 }
@@ -384,9 +410,15 @@ func (m *machine) refAs(t int, r trace.Ref) error {
 			}
 		}
 	}
-	res, err := m.procs[t].kernel.Access(r.Addr, r.Write)
+	// Steady state translates without kernel involvement; the fault and
+	// CoW slow paths live behind Resolve.
+	p := m.procs[t]
+	res, err := p.mmu.Translate(r.Addr, r.Write)
 	if err != nil {
-		return err
+		res, err = p.kernel.Resolve(r.Addr, r.Write, res, err)
+		if err != nil {
+			return err
+		}
 	}
 	if m.caches == nil {
 		return nil
@@ -451,7 +483,14 @@ func Run(w workload.Workload, opts Options) (Result, error) {
 			return Result{}, err
 		}
 	} else {
-		if err := w.Run(counter, opts.Refs, opts.Seed); err != nil {
+		// Batch the generator's per-Ref stream so the machine consumes
+		// references a slice at a time (the SMT scheduler interleaves at
+		// reference granularity and stays per-Ref).
+		b := trace.NewBatcher(counter)
+		if err := w.Run(b, opts.Refs, opts.Seed); err != nil {
+			return Result{}, err
+		}
+		if err := b.Flush(); err != nil {
 			return Result{}, err
 		}
 	}

@@ -94,8 +94,15 @@ type SetAssoc struct {
 	sets   int
 	ways   int
 	orders []addr.Order
-	data   [][]way // [set][way]
-	tick   uint64
+	data   []way // sets*ways entries; set s occupies [s*ways, (s+1)*ways)
+	// tags mirrors data: the entry's base VPN when valid, invalidTag
+	// otherwise, so a probe walks one compact cache line per set instead
+	// of the full way records.
+	tags []uint64
+	tick uint64
+	// single marks a one-page-size TLB (the common L1 case): find can skip
+	// the per-order loop and the per-way order compare.
+	single bool
 	// residents[i] counts valid entries of orders[i], so lookups skip
 	// probes for absent sizes.
 	residents []int
@@ -121,11 +128,13 @@ func NewSetAssoc(name string, sets, ways int, orders ...addr.Order) *SetAssoc {
 		sets:      sets,
 		ways:      ways,
 		orders:    append([]addr.Order(nil), orders...),
-		data:      make([][]way, sets),
+		data:      make([]way, sets*ways),
+		tags:      make([]uint64, sets*ways),
+		single:    len(orders) == 1,
 		residents: make([]int, len(orders)),
 	}
-	for i := range t.data {
-		t.data[i] = make([]way, ways)
+	for i := range t.tags {
+		t.tags[i] = invalidTag
 	}
 	return t
 }
@@ -174,15 +183,35 @@ func (t *SetAssoc) Probe(vpn addr.VPN) (Entry, bool) {
 }
 
 func (t *SetAssoc) find(vpn addr.VPN) (Entry, *way) {
+	if t.single {
+		// One page size: no order loop, and every resident entry has that
+		// order, so the tag compare alone decides.
+		if t.residents[0] == 0 {
+			return Entry{}, nil
+		}
+		o := t.orders[0]
+		base := uint64(vpn.AlignDown(o))
+		s := t.index(vpn, o) * t.ways
+		tags := t.tags[s : s+t.ways]
+		for w := range tags {
+			if tags[w] == base {
+				return t.data[s+w].entry, &t.data[s+w]
+			}
+		}
+		return Entry{}, nil
+	}
 	for i, o := range t.orders {
 		if t.residents[i] == 0 {
 			continue
 		}
-		base := vpn.AlignDown(o)
-		set := t.data[t.index(vpn, o)]
-		for w := range set {
-			if set[w].valid && set[w].entry.Order == o && set[w].entry.VPN == base {
-				return set[w].entry, &set[w]
+		base := uint64(vpn.AlignDown(o))
+		s := t.index(vpn, o) * t.ways
+		tags := t.tags[s : s+t.ways]
+		for w := range tags {
+			// Same-tag entries of a different order (a larger page whose
+			// base coincides) are rejected by the order compare.
+			if tags[w] == base && t.data[s+w].entry.Order == o {
+				return t.data[s+w].entry, &t.data[s+w]
 			}
 		}
 	}
@@ -197,20 +226,22 @@ func (t *SetAssoc) Insert(e Entry) {
 		panic(fmt.Sprintf("tlb %s: unsupported page order %d", t.name, e.Order))
 	}
 	t.tick++
-	set := t.data[t.index(e.VPN, e.Order)]
-	var victim *way
+	s := t.index(e.VPN, e.Order) * t.ways
+	set := t.data[s : s+t.ways]
+	vi := -1
 	for w := range set {
 		if set[w].valid && set[w].entry.Order == e.Order && set[w].entry.VPN == e.VPN {
 			set[w].entry = e
 			set[w].lru = t.tick
 			return
 		}
-		if victim == nil || !set[w].valid || (victim.valid && set[w].lru < victim.lru) {
-			if victim == nil || victim.valid {
-				victim = &set[w]
+		if vi < 0 || !set[w].valid || (set[vi].valid && set[w].lru < set[vi].lru) {
+			if vi < 0 || set[vi].valid {
+				vi = w
 			}
 		}
 	}
+	victim := &set[vi]
 	if victim.valid {
 		t.residents[t.orderSlot(victim.entry.Order)]--
 		t.stats.Evictions++
@@ -218,6 +249,7 @@ func (t *SetAssoc) Insert(e Entry) {
 	victim.entry = e
 	victim.valid = true
 	victim.lru = t.tick
+	t.tags[s+vi] = uint64(e.VPN)
 	t.residents[slot]++
 	t.stats.Fills++
 }
@@ -229,10 +261,12 @@ func (t *SetAssoc) InvalidatePage(vpn addr.VPN) {
 			continue
 		}
 		base := vpn.AlignDown(o)
-		set := t.data[t.index(vpn, o)]
+		s := t.index(vpn, o) * t.ways
+		set := t.data[s : s+t.ways]
 		for w := range set {
 			if set[w].valid && set[w].entry.Order == o && set[w].entry.VPN == base {
 				set[w].valid = false
+				t.tags[s+w] = invalidTag
 				t.residents[i]--
 				t.stats.Invalidates++
 			}
@@ -242,31 +276,29 @@ func (t *SetAssoc) InvalidatePage(vpn addr.VPN) {
 
 // InvalidateRange implements TLB.
 func (t *SetAssoc) InvalidateRange(start, end addr.VPN) {
-	for s := range t.data {
-		for w := range t.data[s] {
-			wy := &t.data[s][w]
-			if !wy.valid {
-				continue
-			}
-			eStart := wy.entry.VPN
-			eEnd := eStart + addr.VPN(wy.entry.Order.Pages())
-			if eStart < end && start < eEnd {
-				wy.valid = false
-				t.residents[t.orderSlot(wy.entry.Order)]--
-				t.stats.Invalidates++
-			}
+	for w := range t.data {
+		wy := &t.data[w]
+		if !wy.valid {
+			continue
+		}
+		eStart := wy.entry.VPN
+		eEnd := eStart + addr.VPN(wy.entry.Order.Pages())
+		if eStart < end && start < eEnd {
+			wy.valid = false
+			t.tags[w] = invalidTag
+			t.residents[t.orderSlot(wy.entry.Order)]--
+			t.stats.Invalidates++
 		}
 	}
 }
 
 // Flush implements TLB.
 func (t *SetAssoc) Flush() {
-	for s := range t.data {
-		for w := range t.data[s] {
-			if t.data[s][w].valid {
-				t.data[s][w].valid = false
-				t.stats.Invalidates++
-			}
+	for w := range t.data {
+		if t.data[w].valid {
+			t.data[w].valid = false
+			t.tags[w] = invalidTag
+			t.stats.Invalidates++
 		}
 	}
 	for i := range t.residents {
@@ -282,17 +314,54 @@ func (t *SetAssoc) Flush() {
 type FullyAssoc struct {
 	name    string
 	entries []way
-	tick    uint64
-	stats   Stats
+	// tags and masks mirror entries so the scan touches one compact array:
+	// masks[i] is ^(pages-1) for the entry's order and tags[i] is its
+	// (order-aligned) base VPN — the literal hardware comparator inputs of
+	// Fig. 7. An invalid slot holds tags[i] = invalidTag with masks[i] = 0,
+	// which no masked VPN can equal, so validity needs no extra branch.
+	tags  []uint64
+	masks []uint64
+	tick  uint64
+	// mru is the index of the last entry that hit: Lookup probes it before
+	// the linear scan, the software analogue of a way predictor.
+	mru int
+	// overlaps counts unordered pairs of valid entries whose VPN ranges
+	// intersect. Promotion deliberately leaves stale smaller-order entries
+	// resident next to the new larger entry (§III-C2: no shootdown on
+	// promotion), and when such a pair exists, *which* covering entry a
+	// lookup returns — the scan's first match — determines the Flags the
+	// MMU sees and the LRU slot that gets refreshed. The MRU shortcut is
+	// therefore only taken when overlaps is zero, where any covering entry
+	// is provably unique and first-match == MRU-match, keeping every stat
+	// and LRU decision bit-identical to the plain scan.
+	overlaps int
+	stats    Stats
 }
+
+// invalidTag marks an empty comparator slot: a masked VPN can never equal
+// all-ones (virtual addresses stay far below 2^63), and an invalid slot's
+// mask is 0, which zeroes every incoming VPN.
+const invalidTag = ^uint64(0)
 
 // NewFullyAssoc builds a fully associative any-page-size TLB.
 func NewFullyAssoc(name string, entries int) *FullyAssoc {
 	if entries <= 0 {
 		panic("tlb: entries must be positive")
 	}
-	return &FullyAssoc{name: name, entries: make([]way, entries)}
+	t := &FullyAssoc{
+		name:    name,
+		entries: make([]way, entries),
+		tags:    make([]uint64, entries),
+		masks:   make([]uint64, entries),
+	}
+	for i := range t.tags {
+		t.tags[i] = invalidTag
+	}
+	return t
 }
+
+// orderMask returns ^(pages-1) for o: the page-mask comparator input.
+func orderMask(o addr.Order) uint64 { return ^(uint64(1)<<uint(o) - 1) }
 
 // Name implements TLB.
 func (t *FullyAssoc) Name() string { return t.name }
@@ -307,11 +376,26 @@ func (t *FullyAssoc) Stats() Stats { return t.stats }
 // match: vpn & mask == tag, where mask = ^(pages-1) for the entry's size.
 func (t *FullyAssoc) Lookup(vpn addr.VPN) (Entry, bool) {
 	t.stats.Accesses++
-	for i := range t.entries {
-		w := &t.entries[i]
-		if w.valid && w.entry.Covers(vpn) {
+	uv := uint64(vpn)
+	if t.overlaps == 0 {
+		// MRU-first: no overlapping entries resident, so a covering entry
+		// is unique and checking the last hit first cannot change which
+		// entry (or which stats) a lookup produces.
+		if i := t.mru; uv&t.masks[i] == t.tags[i] {
+			w := &t.entries[i]
 			t.tick++
 			w.lru = t.tick
+			t.stats.Hits++
+			return w.entry, true
+		}
+	}
+	tags, masks := t.tags, t.masks
+	for i := range tags {
+		if uv&masks[i] == tags[i] {
+			w := &t.entries[i]
+			t.tick++
+			w.lru = t.tick
+			t.mru = i
 			t.stats.Hits++
 			return w.entry, true
 		}
@@ -322,37 +406,78 @@ func (t *FullyAssoc) Lookup(vpn addr.VPN) (Entry, bool) {
 
 // Probe implements TLB.
 func (t *FullyAssoc) Probe(vpn addr.VPN) (Entry, bool) {
-	for i := range t.entries {
-		if t.entries[i].valid && t.entries[i].entry.Covers(vpn) {
+	uv := uint64(vpn)
+	for i := range t.tags {
+		if uv&t.masks[i] == t.tags[i] {
 			return t.entries[i].entry, true
 		}
 	}
 	return Entry{}, false
 }
 
+// overlapPairs counts the valid entries, other than the one at index i,
+// whose VPN range intersects entry i's range — entry i's contribution to
+// the overlaps pair count. O(n), called only on the fill/invalidate paths,
+// which are already O(n).
+func (t *FullyAssoc) overlapPairs(i int) int {
+	e := t.entries[i].entry
+	start := e.VPN
+	end := start + addr.VPN(e.Order.Pages())
+	n := 0
+	for j := range t.entries {
+		if j == i || !t.entries[j].valid {
+			continue
+		}
+		o := t.entries[j].entry
+		oStart := o.VPN
+		oEnd := oStart + addr.VPN(o.Order.Pages())
+		if start < oEnd && oStart < end {
+			n++
+		}
+	}
+	return n
+}
+
+// drop invalidates entry i, keeping the overlap pair count and comparator
+// arrays consistent.
+func (t *FullyAssoc) drop(i int) {
+	t.overlaps -= t.overlapPairs(i)
+	t.entries[i].valid = false
+	t.tags[i] = invalidTag
+	t.masks[i] = 0
+	t.stats.Invalidates++
+}
+
 // Insert implements TLB.
 func (t *FullyAssoc) Insert(e Entry) {
 	t.tick++
-	var victim *way
+	vi := -1
 	for i := range t.entries {
 		w := &t.entries[i]
 		if w.valid && w.entry.Order == e.Order && w.entry.VPN == e.VPN {
+			// Same translation re-filled in place: the covered range is
+			// unchanged, so the overlap count is too.
 			w.entry = e
 			w.lru = t.tick
 			return
 		}
-		if victim == nil || !w.valid || (victim.valid && w.lru < victim.lru) {
-			if victim == nil || victim.valid {
-				victim = w
+		if vi < 0 || !w.valid || (t.entries[vi].valid && w.lru < t.entries[vi].lru) {
+			if vi < 0 || t.entries[vi].valid {
+				vi = i
 			}
 		}
 	}
+	victim := &t.entries[vi]
 	if victim.valid {
+		t.overlaps -= t.overlapPairs(vi)
 		t.stats.Evictions++
 	}
 	victim.entry = e
 	victim.valid = true
 	victim.lru = t.tick
+	t.tags[vi] = uint64(e.VPN)
+	t.masks[vi] = orderMask(e.Order)
+	t.overlaps += t.overlapPairs(vi)
 	t.stats.Fills++
 }
 
@@ -361,8 +486,7 @@ func (t *FullyAssoc) InvalidatePage(vpn addr.VPN) {
 	for i := range t.entries {
 		w := &t.entries[i]
 		if w.valid && w.entry.Covers(vpn) {
-			w.valid = false
-			t.stats.Invalidates++
+			t.drop(i)
 		}
 	}
 }
@@ -377,8 +501,7 @@ func (t *FullyAssoc) InvalidateRange(start, end addr.VPN) {
 		eStart := w.entry.VPN
 		eEnd := eStart + addr.VPN(w.entry.Order.Pages())
 		if eStart < end && start < eEnd {
-			w.valid = false
-			t.stats.Invalidates++
+			t.drop(i)
 		}
 	}
 }
@@ -388,7 +511,10 @@ func (t *FullyAssoc) Flush() {
 	for i := range t.entries {
 		if t.entries[i].valid {
 			t.entries[i].valid = false
+			t.tags[i] = invalidTag
+			t.masks[i] = 0
 			t.stats.Invalidates++
 		}
 	}
+	t.overlaps = 0
 }

@@ -423,12 +423,21 @@ func (v *vma) findReservation(vpn addr.VPN) *reservation {
 }
 
 // Access translates a memory access, handling any demand fault. This is
-// the simulator's per-reference entry point.
+// the simulator's per-reference entry point; hot loops that hold the MMU
+// directly may instead call mmu.Translate themselves and fall back to
+// Resolve on failure — the two are equivalent.
 func (k *Kernel) Access(v addr.Virt, write bool) (mmu.Result, error) {
 	res, err := k.mmu.Translate(v, write)
 	if err == nil {
 		return res, nil
 	}
+	return k.Resolve(v, write, res, err)
+}
+
+// Resolve is the slow path of Access: given a failed translation (res, err
+// as Translate returned them), service the demand fault or CoW write fault
+// and retry the translation.
+func (k *Kernel) Resolve(v addr.Virt, write bool, res mmu.Result, err error) (mmu.Result, error) {
 	switch {
 	case errors.Is(err, pagetable.ErrNotMapped):
 		if err := k.Fault(v, write); err != nil {

@@ -1,0 +1,55 @@
+#!/bin/sh
+# Regenerates the machine-readable benchmark record (BENCH_PR2.json by
+# default): runs the per-reference hot-loop benchmarks and emits one JSON
+# object per setup with ns/ref and allocs/ref. Run on an idle machine;
+# compare across commits with benchstat on the raw `go test -bench` output.
+#
+#   scripts/bench_json.sh [output.json]
+set -eu
+cd "$(dirname "$0")/.."
+out="${1:-BENCH_PR2.json}"
+
+raw="$(mktemp)"
+trap 'rm -f "$raw"' EXIT
+go test -run='^$' -bench='RefLoop' -benchmem -count=1 ./internal/sim | tee "$raw" >&2
+
+awk -v date="$(date -u +%Y-%m-%dT%H:%M:%SZ)" '
+BEGIN {
+    # Pre-fast-path ns/ref, measured at the PR 1 tree on the reference
+    # machine (Xeon @ 2.70GHz, GOMAXPROCS=1) — the denominator for the
+    # speedup column. The 4K/THP/TPS/CoLT/RMM paths also allocated via
+    # the per-ref delivery chain; CycleModel allocated 96 B/ref.
+    base["4K"] = 115.0
+    base["THP"] = 61.39
+    base["TPS"] = 92.93
+    base["CoLT"] = 129.4
+    base["RMM"] = 77.02
+    base["THP+CycleModel"] = 227.8
+}
+/^BenchmarkRefLoop/ {
+    name = $1
+    sub(/^BenchmarkRefLoopCycleModel.*/, "THP+CycleModel", name)
+    sub(/^BenchmarkRefLoop\//, "", name)
+    sub(/-[0-9]+$/, "", name)  # strip GOMAXPROCS suffix if present
+    ns = ""; allocs = ""
+    for (i = 2; i <= NF; i++) {
+        if ($i == "ns/op") ns = $(i-1)
+        if ($i == "allocs/op") allocs = $(i-1)
+    }
+    if (ns != "") {
+        extra = ""
+        if (name in base) {
+            extra = sprintf(", \"baseline_ns_per_ref\": %s, \"speedup\": %.2f", base[name], base[name] / ns)
+        }
+        rows[++n] = sprintf("    {\"setup\": \"%s\", \"ns_per_ref\": %s, \"allocs_per_ref\": %s%s}", name, ns, allocs == "" ? "null" : allocs, extra)
+    }
+}
+END {
+    printf "{\n"
+    printf "  \"benchmark\": \"BenchmarkRefLoop (go test -bench=RefLoop -benchmem ./internal/sim)\",\n"
+    printf "  \"generated\": \"%s\",\n", date
+    printf "  \"results\": [\n"
+    for (i = 1; i <= n; i++) printf "%s%s\n", rows[i], i < n ? "," : ""
+    printf "  ]\n}\n"
+}' "$raw" > "$out"
+echo "wrote $out" >&2

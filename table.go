@@ -2,6 +2,7 @@ package tps
 
 import (
 	"fmt"
+	"io"
 	"strings"
 )
 
@@ -16,10 +17,21 @@ type Table struct {
 	Rows   [][]string
 	// Notes carry caveats (substitutions, clamping, scaling).
 	Notes []string
+
+	// Stream, when set, receives each row the moment it is added — the
+	// live view of a long run. Render is unaffected: the fully aligned
+	// table still prints once every cell has landed (alignment needs all
+	// rows' widths), so streaming never changes the canonical output.
+	Stream io.Writer
 }
 
-// AddRow appends a row of cells.
-func (t *Table) AddRow(cells ...string) { t.Rows = append(t.Rows, cells) }
+// AddRow appends a row of cells, flushing it to Stream when streaming.
+func (t *Table) AddRow(cells ...string) {
+	t.Rows = append(t.Rows, cells)
+	if t.Stream != nil {
+		fmt.Fprintf(t.Stream, "  %s\n", strings.Join(cells, "\t"))
+	}
+}
 
 // Render formats the table with aligned columns.
 func (t *Table) Render() string {
