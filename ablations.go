@@ -47,6 +47,9 @@ func (r *Runner) AblationAliasStrategy() (*Table, error) {
 		Header: []string{"benchmark", "walkrefs/walk (extra)", "walkrefs/walk (copy)", "PTE writes (extra)", "PTE writes (copy)"},
 	}
 	r.stream(t)
+	if err := r.ctxErr(); err != nil {
+		return nil, err
+	}
 	suite := r.ablationSuite()
 	extra := func(o *Options) { o.AliasStrategy = pagetable.ExtraLookup }
 	copyAll := func(o *Options) { o.AliasStrategy = pagetable.FullCopy }
@@ -78,6 +81,9 @@ func (r *Runner) AblationPromotionThreshold() (*Table, error) {
 		Notes:  []string{"touched = the 4K-only demand footprint; bloat = mapped/touched - 1"},
 	}
 	r.stream(t)
+	if err := r.ctxErr(); err != nil {
+		return nil, err
+	}
 	densities := []float64{0.9, 0.6}
 	thresholds := []float64{0.5, 0.75, 1.0}
 	base4K := func(o *Options) { o.Setup = SetupBase4K }
@@ -122,6 +128,9 @@ func (r *Runner) AblationReservationSizing() (*Table, error) {
 		Header: []string{"benchmark", "sizing", "reservations", "reserved pages", "L1 misses"},
 	}
 	r.stream(t)
+	if err := r.ctxErr(); err != nil {
+		return nil, err
+	}
 	suite := r.ablationSuite()
 	sizings := []vmm.Sizing{vmm.SizingConservative, vmm.SizingAggressive}
 	withSizing := func(sz vmm.Sizing) func(*Options) {
@@ -152,6 +161,9 @@ func (r *Runner) AblationTPSTLBSize() (*Table, error) {
 		Notes:  []string{"cells are L1 DTLB miss rates (misses per access)"},
 	}
 	r.stream(t)
+	if err := r.ctxErr(); err != nil {
+		return nil, err
+	}
 	suite := r.ablationSuite()
 	sizes := []int{8, 16, 32, 64}
 	withEntries := func(n int) func(*Options) {
@@ -184,6 +196,9 @@ func (r *Runner) AblationSkewedTLB() (*Table, error) {
 		Header: []string{"benchmark", "FA miss rate", "skewed miss rate"},
 	}
 	r.stream(t)
+	if err := r.ctxErr(); err != nil {
+		return nil, err
+	}
 	suite := r.ablationSuite()
 	plain := func(o *Options) {}
 	skewed := func(o *Options) { o.TPSTLBSkewed = true }
@@ -212,6 +227,9 @@ func (r *Runner) AblationFiveLevel() (*Table, error) {
 		Header: []string{"benchmark", "THP walkrefs (4-lvl)", "THP walkrefs (5-lvl)", "TPS walkrefs (5-lvl)"},
 	}
 	r.stream(t)
+	if err := r.ctxErr(); err != nil {
+		return nil, err
+	}
 	suite := r.ablationSuite()
 	run5 := func(w Workload, setup Setup) (Result, error) {
 		opts := Options{

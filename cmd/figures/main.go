@@ -16,17 +16,30 @@
 //	figures -refs 2000000        # deeper runs
 //	figures -all -parallel 8     # cap the worker pool at 8 simulations
 //	figures -fig 13 -cpuprofile cpu.pb.gz   # profile the hot loop
+//	figures -all -store results/            # persist every settled cell
+//	figures -all -store results/ -resume    # replay settled cells, run the rest
+//
+// A -store run that is killed partway (SIGKILL, OOM, power) leaves only
+// complete, checksummed cells behind; rerunning with -resume replays them
+// and recomputes the rest, producing stdout byte-identical to an
+// uninterrupted run. SIGINT/SIGTERM cancel in-flight simulations cleanly.
 package main
 
 import (
+	"context"
+	"errors"
 	"flag"
 	"fmt"
 	"os"
+	"os/signal"
 	"runtime"
 	"runtime/pprof"
 	rtrace "runtime/trace"
+	"strings"
+	"syscall"
 
 	"tps"
+	"tps/internal/store"
 )
 
 func main() {
@@ -41,8 +54,19 @@ func main() {
 		cpuprofile = flag.String("cpuprofile", "", "write a CPU profile to this file")
 		memprofile = flag.String("memprofile", "", "write a heap profile to this file on exit")
 		tracefile  = flag.String("trace", "", "write a runtime execution trace to this file")
+		suite      = flag.String("suite", "", "comma-separated workload subset (default: the full evaluation suite)")
+		storeDir   = flag.String("store", "", "persist each settled cell to this directory (content-addressed, checksummed)")
+		resume     = flag.Bool("resume", false, "with -store: replay already-settled cells instead of recomputing them")
+		cellTO     = flag.Duration("cell-timeout", 0, "per-cell deadline (0 = none); an overrunning cell fails its figure, not the process")
+		retries    = flag.Int("retries", 0, "re-run a transiently failing cell up to N times under capped exponential backoff")
 	)
 	flag.Parse()
+
+	// SIGINT/SIGTERM cancel the run: in-flight cells stop at the next
+	// batch boundary, producer goroutines drain, and already-settled
+	// cells stay in the store for a -resume restart.
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
 
 	if *cpuprofile != "" {
 		f, err := os.Create(*cpuprofile)
@@ -78,9 +102,44 @@ func main() {
 		}()
 	}
 
-	cfg := tps.FigureConfig{Refs: *refs, Seed: *seed, Parallelism: *parallel}
+	cfg := tps.FigureConfig{
+		Refs: *refs, Seed: *seed, Parallelism: *parallel,
+		Context: ctx, CellTimeout: *cellTO, Retries: *retries,
+	}
 	if *progress {
 		cfg.Progress = os.Stderr
+	}
+	if *suite != "" {
+		for _, name := range strings.Split(*suite, ",") {
+			w, ok := tps.WorkloadByName(strings.TrimSpace(name))
+			if !ok {
+				fmt.Fprintf(os.Stderr, "figures: unknown workload %q\n", name)
+				os.Exit(2)
+			}
+			cfg.Suite = append(cfg.Suite, w)
+		}
+	}
+	if *resume && *storeDir == "" {
+		fmt.Fprintln(os.Stderr, "figures: -resume requires -store DIR")
+		os.Exit(2)
+	}
+	if *storeDir != "" {
+		st, err := store.Open(*storeDir)
+		if err != nil {
+			// An unwritable store degrades to in-memory-only: warn
+			// once, never fail the run.
+			fmt.Fprintf(os.Stderr, "figures: store unavailable, running in-memory only: %v\n", err)
+		} else if *resume {
+			if n, err := st.Count(); err == nil && n > 0 {
+				fmt.Fprintf(os.Stderr, "figures: resuming from %s (%d settled cells)\n", st.Dir(), n)
+			}
+			cfg.Store = st
+		} else {
+			// Fresh run: persist every settled cell for a later
+			// -resume, but never replay — stdout must reflect this
+			// binary's computation, not a stale store.
+			cfg.Store = store.WriteOnly(st)
+		}
 	}
 	r := tps.NewRunner(cfg)
 
@@ -125,6 +184,10 @@ func main() {
 }
 
 func fatal(err error) {
+	if errors.Is(err, context.Canceled) {
+		fmt.Fprintln(os.Stderr, "figures: interrupted")
+		os.Exit(130)
+	}
 	fmt.Fprintf(os.Stderr, "figures: %v\n", err)
 	os.Exit(1)
 }

@@ -1,8 +1,18 @@
 package tps
 
 import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
 	"runtime"
+	"runtime/debug"
 	"sync"
+	"sync/atomic"
+	"time"
+
+	"tps/internal/store"
 )
 
 // engine is the concurrency-safe heart of the Runner: a
@@ -10,10 +20,22 @@ import (
 // many simulations execute at once. Two figures wanting the same runKey
 // cell share one in-flight run instead of racing or recomputing, and a
 // completed cell (result or error) is served from the cache forever after.
+//
+// The engine is also the robustness boundary. A panic inside a cell
+// function is recovered into a CellError and memoized like any other
+// failure — one bad cell fails its figure, never the process, and never
+// deadlocks sibling waiters (the semaphore token and the flight's done
+// channel are released by defers, not by straight-line code). With a
+// result store attached, every settled cell is persisted content-addressed
+// and consulted before running, so a killed run resumes with only its
+// unsettled cells recomputed.
 type engine struct {
+	cfg     FigureConfig
 	sem     chan struct{} // worker-pool tokens
 	mu      sync.Mutex    // guards flights
 	flights map[runKey]*flight
+
+	warned atomic.Bool // one store warning per engine, never a failed run
 }
 
 // flight is one cell's lifecycle: created exactly once per key, its done
@@ -24,12 +46,37 @@ type flight struct {
 	err  error
 }
 
-// newEngine sizes the worker pool; parallelism <= 0 means GOMAXPROCS.
-func newEngine(parallelism int) *engine {
+// CellError reports a panic inside one simulation cell, contained by the
+// engine and memoized like any other failure: the cell's figure returns a
+// diagnosable error while sibling cells — and the process — keep running.
+type CellError struct {
+	Key      string // content address of the cell in the result store
+	Workload string
+	Setup    Setup
+	Panic    any    // the recovered panic value
+	Stack    []byte // stack of the panicking goroutine
+}
+
+// Error summarizes the contained panic; the full stack is in Stack.
+func (e *CellError) Error() string {
+	return fmt.Sprintf("cell %s/%v panicked: %v", e.Workload, e.Setup, e.Panic)
+}
+
+// simVersionSalt fingerprints the simulator revision into every store
+// key. Bump it whenever a change intentionally alters modeled statistics,
+// so stale persisted cells miss (and recompute) instead of resurrecting
+// old numbers into new runs.
+const simVersionSalt = "tps-sim-v1"
+
+// newEngine sizes the worker pool; cfg.Parallelism <= 0 means GOMAXPROCS.
+// cfg must already carry its defaults (NewRunner applies them).
+func newEngine(cfg FigureConfig) *engine {
+	parallelism := cfg.Parallelism
 	if parallelism <= 0 {
 		parallelism = runtime.GOMAXPROCS(0)
 	}
 	return &engine{
+		cfg:     cfg,
 		sem:     make(chan struct{}, parallelism),
 		flights: make(map[runKey]*flight),
 	}
@@ -37,23 +84,179 @@ func newEngine(parallelism int) *engine {
 
 // do returns the cached or in-flight result for key, or executes fn under
 // the worker-pool limit. Exactly one caller per key runs fn; everyone else
-// blocks until that flight lands and shares its result.
-func (e *engine) do(key runKey, fn func() (Result, error)) (Result, error) {
+// blocks until that flight lands and shares its result. A canceled ctx
+// releases waiters immediately and aborts queued work before it starts;
+// the flight then memoizes the cancellation so later callers fail fast.
+func (e *engine) do(ctx context.Context, key runKey, fn func(context.Context) (Result, error)) (Result, error) {
 	e.mu.Lock()
 	if f, ok := e.flights[key]; ok {
 		e.mu.Unlock()
-		<-f.done
-		return f.res, f.err
+		select {
+		case <-f.done:
+			return f.res, f.err
+		case <-ctx.Done():
+			return Result{}, ctx.Err()
+		}
 	}
 	f := &flight{done: make(chan struct{})}
 	e.flights[key] = f
 	e.mu.Unlock()
 
-	e.sem <- struct{}{}
-	f.res, f.err = fn()
-	<-e.sem
-	close(f.done)
+	// The flight must land no matter how fn exits — error, panic, or
+	// cancellation — or every sibling waiter deadlocks forever.
+	defer close(f.done)
+
+	select {
+	case e.sem <- struct{}{}:
+	case <-ctx.Done():
+		f.err = ctx.Err()
+		return f.res, f.err
+	}
+	defer func() { <-e.sem }()
+
+	if res, ok := e.replay(key); ok {
+		f.res = res
+		return f.res, nil
+	}
+	f.res, f.err = e.runCell(ctx, key, fn)
+	if f.err == nil {
+		e.persist(key, f.res)
+	}
 	return f.res, f.err
+}
+
+// runCell executes one attempt plus up to cfg.Retries re-runs under a
+// capped exponential backoff — the opt-in path for transient store or I/O
+// errors. Panics (CellError) are deterministic and never retried;
+// cancellation is final.
+func (e *engine) runCell(ctx context.Context, key runKey, fn func(context.Context) (Result, error)) (Result, error) {
+	backoff := e.cfg.RetryBackoff
+	if backoff <= 0 {
+		backoff = 50 * time.Millisecond
+	}
+	const maxBackoff = 2 * time.Second
+	for attempt := 0; ; attempt++ {
+		res, err := e.attempt(ctx, key, fn)
+		if err == nil || attempt >= e.cfg.Retries {
+			return res, err
+		}
+		var cerr *CellError
+		if errors.As(err, &cerr) || ctx.Err() != nil {
+			return res, err
+		}
+		select {
+		case <-time.After(backoff):
+		case <-ctx.Done():
+			return Result{}, ctx.Err()
+		}
+		if backoff *= 2; backoff > maxBackoff {
+			backoff = maxBackoff
+		}
+	}
+}
+
+// attempt runs fn once with the per-cell deadline applied, converting a
+// panic into a structured, memoizable CellError.
+func (e *engine) attempt(ctx context.Context, key runKey, fn func(context.Context) (Result, error)) (res Result, err error) {
+	if e.cfg.CellTimeout > 0 {
+		var cancel context.CancelFunc
+		ctx, cancel = context.WithTimeout(ctx, e.cfg.CellTimeout)
+		defer cancel()
+	}
+	defer func() {
+		if p := recover(); p != nil {
+			err = &CellError{
+				Key:      e.cellKey(key),
+				Workload: key.name,
+				Setup:    key.setup,
+				Panic:    p,
+				Stack:    debug.Stack(),
+			}
+		}
+	}()
+	return fn(ctx)
+}
+
+// fingerprint renders a cell's complete identity — every runKey field
+// plus the Runner-wide knobs (refs, seed, memory) and the simulator
+// version salt — as the stable string the store key hashes. Two cells
+// share a fingerprint exactly when their Results must be identical.
+func (e *engine) fingerprint(k runKey) string {
+	return fmt.Sprintf("%s|refs=%d|seed=%d|mem=%d|w=%s|setup=%d|smt=%t|virt=%t|frag=%t|cyc=%t|thr=%g|sizing=%d|alias=%d|cfail=%t|lvl=%d|tlbe=%d|skew=%t|ce=%d",
+		simVersionSalt, e.cfg.Refs, e.cfg.Seed, e.cfg.MemoryPages,
+		k.name, k.setup, k.smt, k.virt, k.frag, k.cyc,
+		k.threshold, k.sizing, k.alias, k.compactFail,
+		k.levels, k.tlbEntries, k.skewed, k.compactEvery)
+}
+
+// cellKey is the cell's content address in the result store.
+func (e *engine) cellKey(k runKey) string { return store.KeyOf(e.fingerprint(k)) }
+
+// replay consults the result store before running a cell. Store failures
+// and undecodable entries degrade to a miss — the cell recomputes — with
+// at most one warning for the whole run; durability problems never fail
+// or corrupt a run.
+func (e *engine) replay(k runKey) (Result, bool) {
+	if e.cfg.Store == nil {
+		return Result{}, false
+	}
+	data, ok, err := e.cfg.Store.Get(e.cellKey(k))
+	if err != nil {
+		e.warnOnce("result store read failed, recomputing (%v)", err)
+		return Result{}, false
+	}
+	if !ok {
+		return Result{}, false
+	}
+	res, err := decodeResult(data)
+	if err != nil {
+		e.warnOnce("result store entry for %s/%v undecodable, recomputing (%v)", k.name, k.setup, err)
+		return Result{}, false
+	}
+	return res, true
+}
+
+// persist records a settled cell. Failures degrade to in-memory-only
+// operation with a single warning.
+func (e *engine) persist(k runKey, res Result) {
+	if e.cfg.Store == nil {
+		return
+	}
+	data, err := encodeResult(res)
+	if err != nil {
+		e.warnOnce("result not encodable, staying in-memory only (%v)", err)
+		return
+	}
+	if err := e.cfg.Store.Put(e.cellKey(k), data); err != nil {
+		e.warnOnce("result store write failed, results stay in-memory (%v)", err)
+	}
+}
+
+// warnOnce surfaces the first store degradation and suppresses the rest:
+// a flaky disk should cost one diagnostic line, not a flood.
+func (e *engine) warnOnce(format string, args ...any) {
+	if e.warned.CompareAndSwap(false, true) {
+		e.cfg.Warnf("tps: "+format, args...)
+	}
+}
+
+// encodeResult serializes a Result for the store. JSON round-trips every
+// field exactly (uint64s decode from their integer literals; float64s use
+// shortest-round-trip formatting), which the resume golden tests depend
+// on: a replayed cell must render byte-identically to a fresh one.
+func encodeResult(res Result) ([]byte, error) { return json.Marshal(res) }
+
+// decodeResult is strict about shape: unknown fields mean the entry
+// predates a schema change that forgot to bump simVersionSalt, and the
+// safe response is a miss, not a partial fill.
+func decodeResult(data []byte) (Result, error) {
+	dec := json.NewDecoder(bytes.NewReader(data))
+	dec.DisallowUnknownFields()
+	var res Result
+	if err := dec.Decode(&res); err != nil {
+		return Result{}, err
+	}
+	return res, nil
 }
 
 // size reports how many cells have been started (in flight or settled).
@@ -77,7 +280,9 @@ func (e *engine) parallelism() int { return cap(e.sem) }
 // without waiting: the serial assembly then blocks per cell in row order
 // and flushes each row to the progress writer as its cells land, instead
 // of going silent until the whole grid settles. The rendered output is
-// identical either way — only who waits changes.
+// identical either way — only who waits changes. Cancellation drains the
+// fired goroutines promptly: each thunk's cell observes the Runner context
+// inside its reference loop and returns.
 func (r *Runner) warm(runs ...func()) {
 	if r.eng.parallelism() <= 1 || len(runs) <= 1 {
 		return

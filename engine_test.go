@@ -2,18 +2,23 @@ package tps
 
 import (
 	"bytes"
+	"context"
+	"errors"
 	"reflect"
+	"runtime"
 	"strings"
 	"sync"
 	"sync/atomic"
 	"testing"
 	"time"
+
+	"tps/internal/store"
 )
 
 // TestEngineSingleflight: concurrent callers of the same key share one
 // execution and one result.
 func TestEngineSingleflight(t *testing.T) {
-	e := newEngine(4)
+	e := newEngine(FigureConfig{Parallelism: 4})
 	var calls int32
 	key := runKey{name: "x", setup: SetupTPS}
 	var wg sync.WaitGroup
@@ -22,7 +27,7 @@ func TestEngineSingleflight(t *testing.T) {
 		wg.Add(1)
 		go func(i int) {
 			defer wg.Done()
-			res, err := e.do(key, func() (Result, error) {
+			res, err := e.do(context.Background(), key, func(context.Context) (Result, error) {
 				atomic.AddInt32(&calls, 1)
 				time.Sleep(20 * time.Millisecond) // widen the dedup window
 				return Result{Refs: 42}, nil
@@ -51,14 +56,14 @@ func TestEngineSingleflight(t *testing.T) {
 // and queued cells still all complete.
 func TestEngineWorkerPoolBound(t *testing.T) {
 	const width = 3
-	e := newEngine(width)
+	e := newEngine(FigureConfig{Parallelism: width})
 	var running, peak int32
 	var wg sync.WaitGroup
 	for i := 0; i < 16; i++ {
 		wg.Add(1)
 		go func(i int) {
 			defer wg.Done()
-			e.do(runKey{name: "k", tlbEntries: i}, func() (Result, error) {
+			e.do(context.Background(), runKey{name: "k", tlbEntries: i}, func(context.Context) (Result, error) {
 				n := atomic.AddInt32(&running, 1)
 				for {
 					p := atomic.LoadInt32(&peak)
@@ -78,6 +83,161 @@ func TestEngineWorkerPoolBound(t *testing.T) {
 	}
 	if e.size() != 16 {
 		t.Errorf("cache size=%d, want 16", e.size())
+	}
+}
+
+// TestEnginePanicContained is the regression test for the panic deadlock:
+// before the defers in engine.do, a panicking cell leaked its worker-pool
+// token and never closed its flight, hanging every sibling waiter forever.
+// Now the panic becomes a structured, memoized CellError; sibling cells
+// complete; and the pool still hands out its full width afterwards.
+func TestEnginePanicContained(t *testing.T) {
+	const width = 2
+	e := newEngine(FigureConfig{Parallelism: width})
+	ctx := context.Background()
+	bad := runKey{name: "boom", setup: SetupTPS}
+
+	var wg sync.WaitGroup
+	errs := make([]error, 3)
+	for i := range errs {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			_, errs[i] = e.do(ctx, bad, func(context.Context) (Result, error) {
+				panic("kaboom")
+			})
+		}(i)
+	}
+	// Sibling cells, launched while the panicking flight is live, must
+	// still complete with their own results.
+	sib := make([]Result, 6)
+	for i := range sib {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			res, err := e.do(ctx, runKey{name: "ok", tlbEntries: i}, func(context.Context) (Result, error) {
+				return Result{Refs: uint64(i)}, nil
+			})
+			if err != nil {
+				t.Errorf("sibling %d: %v", i, err)
+			}
+			sib[i] = res
+		}(i)
+	}
+	wg.Wait()
+	for i, res := range sib {
+		if res.Refs != uint64(i) {
+			t.Errorf("sibling %d got %+v", i, res)
+		}
+	}
+	for i, err := range errs {
+		var cerr *CellError
+		if !errors.As(err, &cerr) {
+			t.Fatalf("caller %d: err=%v, want CellError", i, err)
+		}
+		if cerr.Workload != "boom" || cerr.Setup != SetupTPS {
+			t.Errorf("CellError identity: %+v", cerr)
+		}
+		if cerr.Panic != "kaboom" || len(cerr.Stack) == 0 {
+			t.Errorf("CellError payload: panic=%v stack=%dB", cerr.Panic, len(cerr.Stack))
+		}
+		if len(cerr.Key) != 64 {
+			t.Errorf("CellError.Key=%q, want a 64-char content address", cerr.Key)
+		}
+	}
+
+	// The error is memoized: a later caller gets it without re-running.
+	ran := false
+	_, err := e.do(ctx, bad, func(context.Context) (Result, error) { ran = true; return Result{}, nil })
+	var cerr *CellError
+	if !errors.As(err, &cerr) || ran {
+		t.Errorf("memoized panic: err=%v reran=%v", err, ran)
+	}
+
+	// The semaphore token was released: `width` cells can still hold the
+	// pool simultaneously. A leaked token would deadlock the rendezvous.
+	arrive := make(chan struct{}, width)
+	release := make(chan struct{})
+	done := make(chan struct{})
+	go func() {
+		defer close(done)
+		var rw sync.WaitGroup
+		for i := 0; i < width; i++ {
+			rw.Add(1)
+			go func(i int) {
+				defer rw.Done()
+				e.do(ctx, runKey{name: "post", tlbEntries: i}, func(context.Context) (Result, error) {
+					arrive <- struct{}{}
+					<-release
+					return Result{}, nil
+				})
+			}(i)
+		}
+		rw.Wait()
+	}()
+	for i := 0; i < width; i++ {
+		select {
+		case <-arrive:
+		case <-time.After(5 * time.Second):
+			t.Fatal("worker-pool token leaked by the panicking cell")
+		}
+	}
+	close(release)
+	<-done
+}
+
+// TestEngineRetryBackoff: with Retries opted in, transient errors re-run
+// under backoff until success; panics are deterministic and never retry.
+func TestEngineRetryBackoff(t *testing.T) {
+	e := newEngine(FigureConfig{Parallelism: 1, Retries: 2, RetryBackoff: time.Millisecond})
+	attempts := 0
+	res, err := e.do(context.Background(), runKey{name: "flaky"}, func(context.Context) (Result, error) {
+		attempts++
+		if attempts < 3 {
+			return Result{}, errors.New("transient")
+		}
+		return Result{Refs: 9}, nil
+	})
+	if err != nil || res.Refs != 9 || attempts != 3 {
+		t.Errorf("retry: err=%v refs=%d attempts=%d", err, res.Refs, attempts)
+	}
+
+	panics := 0
+	_, err = e.do(context.Background(), runKey{name: "panicky"}, func(context.Context) (Result, error) {
+		panics++
+		panic("deterministic")
+	})
+	var cerr *CellError
+	if !errors.As(err, &cerr) || panics != 1 {
+		t.Errorf("panic retried: err=%v attempts=%d", err, panics)
+	}
+
+	// Default configuration never retries.
+	e0 := newEngine(FigureConfig{Parallelism: 1})
+	tries := 0
+	_, err = e0.do(context.Background(), runKey{name: "once"}, func(context.Context) (Result, error) {
+		tries++
+		return Result{}, errors.New("nope")
+	})
+	if err == nil || tries != 1 {
+		t.Errorf("default retried: err=%v attempts=%d", err, tries)
+	}
+}
+
+// TestEngineCellTimeout: a cell that overruns its deadline fails with
+// DeadlineExceeded instead of wedging the run.
+func TestEngineCellTimeout(t *testing.T) {
+	e := newEngine(FigureConfig{Parallelism: 1, CellTimeout: 10 * time.Millisecond})
+	_, err := e.do(context.Background(), runKey{name: "slow"}, func(ctx context.Context) (Result, error) {
+		select {
+		case <-ctx.Done():
+			return Result{}, ctx.Err()
+		case <-time.After(10 * time.Second):
+			return Result{}, nil
+		}
+	})
+	if !errors.Is(err, context.DeadlineExceeded) {
+		t.Errorf("err=%v, want DeadlineExceeded", err)
 	}
 }
 
@@ -192,5 +352,197 @@ func TestRunErrorPropagates(t *testing.T) {
 	}
 	if _, err := r.AblationSkewedTLB(); err == nil {
 		t.Fatal("ablation on a 1 MB machine should fail with out-of-memory")
+	}
+}
+
+// waitGoroutines is the shared leak check (PR 1's pattern): give the
+// runtime a moment to retire exiting goroutines before judging.
+func waitGoroutines(t *testing.T, before int) {
+	t.Helper()
+	deadline := time.Now().Add(5 * time.Second)
+	for runtime.NumGoroutine() > before+2 && time.Now().Before(deadline) {
+		time.Sleep(10 * time.Millisecond)
+	}
+	if n := runtime.NumGoroutine(); n > before+2 {
+		t.Errorf("goroutines leaked: before=%d after=%d", before, n)
+	}
+}
+
+// TestCancelMidFlight: canceling a multi-cell run mid-flight returns
+// context.Canceled promptly, leaks no goroutines, and leaves the result
+// store in a partial state a fresh Runner resumes into byte-identical
+// output.
+func TestCancelMidFlight(t *testing.T) {
+	suite := smallSuite(t)
+	st, err := store.Open(t.TempDir())
+	if err != nil {
+		t.Fatal(err)
+	}
+	const refs = 1_000_000
+
+	// Settle one cell up front so the canceled run is guaranteed to
+	// leave partial — not empty — store state behind.
+	seed := NewRunner(FigureConfig{Refs: refs, Suite: suite, Parallelism: 1, Store: st})
+	if _, err := seed.run(suite[0], SetupTHP, runFlags{}); err != nil {
+		t.Fatal(err)
+	}
+
+	runtime.GC()
+	before := runtime.NumGoroutine()
+	ctx, cancel := context.WithCancel(context.Background())
+	defer cancel()
+	r := NewRunner(FigureConfig{Refs: refs, Suite: suite, Parallelism: 2, Context: ctx, Store: st})
+	errCh := make(chan error, 1)
+	go func() {
+		_, err := r.Fig10()
+		errCh <- err
+	}()
+	time.Sleep(20 * time.Millisecond)
+	cancel()
+	select {
+	case err := <-errCh:
+		if !errors.Is(err, context.Canceled) {
+			t.Fatalf("canceled Fig10 returned %v, want context.Canceled", err)
+		}
+	case <-time.After(30 * time.Second):
+		t.Fatal("canceled Fig10 never returned")
+	}
+	waitGoroutines(t, before)
+
+	n, err := st.Count()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if n < 1 {
+		t.Fatalf("store settled cells=%d, want at least the seeded cell", n)
+	}
+
+	// Resume from the partial store: byte-identical to a fresh run.
+	fresh, err := NewRunner(FigureConfig{Refs: refs, Suite: suite, Parallelism: 2}).Fig10()
+	if err != nil {
+		t.Fatal(err)
+	}
+	resumed, err := NewRunner(FigureConfig{Refs: refs, Suite: suite, Parallelism: 2, Store: st}).Fig10()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if fresh.Render() != resumed.Render() {
+		t.Errorf("resume changed output:\n--- fresh ---\n%s--- resumed ---\n%s",
+			fresh.Render(), resumed.Render())
+	}
+}
+
+// TestFaultyStoreStillCorrect: under injected write failures, torn writes
+// and bit flips, runs complete with byte-identical output — corrupt
+// entries quarantine and recompute, failed writes degrade to in-memory
+// results with a single warning.
+func TestFaultyStoreStillCorrect(t *testing.T) {
+	suite := smallSuite(t)
+	base, err := store.Open(t.TempDir())
+	if err != nil {
+		t.Fatal(err)
+	}
+	faulty := store.NewFaulty(base, 3, store.FaultRates{WriteFail: 0.3, TornWrite: 0.25, BitFlip: 0.25})
+	var warns atomic.Int32
+	cfg := FigureConfig{
+		Refs: 20_000, Suite: suite, Parallelism: 1,
+		Store: faulty,
+		Warnf: func(string, ...any) { warns.Add(1) },
+	}
+
+	want, err := NewRunner(FigureConfig{Refs: 20_000, Suite: suite, Parallelism: 1}).Fig10()
+	if err != nil {
+		t.Fatal(err)
+	}
+	first, err := NewRunner(cfg).Fig10()
+	if err != nil {
+		t.Fatalf("run over faulty store failed: %v", err)
+	}
+	if first.Render() != want.Render() {
+		t.Errorf("write faults changed output:\n%s\nvs\n%s", first.Render(), want.Render())
+	}
+	// Second runner replays the surviving entries, quarantines the
+	// corrupt ones, recomputes — and must render identically.
+	second, err := NewRunner(cfg).Fig10()
+	if err != nil {
+		t.Fatalf("resume over faulty store failed: %v", err)
+	}
+	if second.Render() != want.Render() {
+		t.Errorf("faulty resume changed output:\n%s\nvs\n%s", second.Render(), want.Render())
+	}
+
+	if faulty.Fails.Load() == 0 && faulty.Torn.Load() == 0 && faulty.Flips.Load() == 0 {
+		t.Fatal("fault injection never fired; test proves nothing")
+	}
+	if faulty.Torn.Load()+faulty.Flips.Load() > 0 && base.Quarantined() == 0 {
+		t.Error("corrupt entries were written but never quarantined")
+	}
+	if faulty.Fails.Load() > 0 && warns.Load() == 0 {
+		t.Error("write failures never warned")
+	}
+	if warns.Load() > 2 {
+		t.Errorf("warning flood: %d warnings across two engines, want at most one each", warns.Load())
+	}
+}
+
+// TestResultCodecRoundTrip: a real cell's Result survives the store codec
+// exactly — resume byte-identity depends on it.
+func TestResultCodecRoundTrip(t *testing.T) {
+	w := smallSuite(t)[0]
+	for _, setup := range []Setup{SetupTPS, SetupRMM, SetupCoLT} {
+		res, err := Run(w, Options{Setup: setup, Refs: 20_000, Seed: 42, CycleModel: true})
+		if err != nil {
+			t.Fatal(err)
+		}
+		data, err := encodeResult(res)
+		if err != nil {
+			t.Fatal(err)
+		}
+		back, err := decodeResult(data)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !reflect.DeepEqual(res, back) {
+			t.Errorf("%v: Result did not round-trip:\n%+v\nvs\n%+v", setup, res, back)
+		}
+	}
+	// Schema drift is a miss, not a partial fill.
+	if _, err := decodeResult([]byte(`{"NotAField":1}`)); err == nil {
+		t.Error("unknown field accepted")
+	}
+}
+
+// TestStoreReplayShortCircuits: a second Runner over the same store
+// replays every cell without re-simulating.
+func TestStoreReplayShortCircuits(t *testing.T) {
+	suite := smallSuite(t)
+	st, err := store.Open(t.TempDir())
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg := FigureConfig{Refs: 20_000, Suite: suite, Parallelism: 2, Store: st}
+	first, err := NewRunner(cfg).Fig10()
+	if err != nil {
+		t.Fatal(err)
+	}
+	n, err := st.Count()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if n == 0 {
+		t.Fatal("no cells persisted")
+	}
+	start := time.Now()
+	replayed, err := NewRunner(cfg).Fig10()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if first.Render() != replayed.Render() {
+		t.Error("replayed output differs from computed output")
+	}
+	// Replay reads a handful of small files; even a slow CI disk does
+	// that orders of magnitude faster than re-simulating the cells.
+	if d := time.Since(start); d > 5*time.Second {
+		t.Errorf("replay took %v; store reads are not short-circuiting", d)
 	}
 }

@@ -25,6 +25,9 @@ func (r *Runner) ExtCompactionDaemon() (*Table, error) {
 		},
 	}
 	r.stream(t)
+	if err := r.ctxErr(); err != nil {
+		return nil, err
+	}
 	var suite []Workload
 	for _, name := range []string{"gups", "graph500", "xsbench"} {
 		if w, ok := WorkloadByName(name); ok {
@@ -95,6 +98,9 @@ func (r *Runner) ExtCowPolicies() (*Table, error) {
 		Notes:  []string{"one 64 MB shared region; 1% of its pages written after cloning"},
 	}
 	r.stream(t)
+	if err := r.ctxErr(); err != nil {
+		return nil, err
+	}
 	for _, policy := range []vmm.CowPolicy{vmm.CowSplit, vmm.CowFull} {
 		res := vmm.CowExperiment(policy, 64<<20, 0.01, r.cfg.Seed)
 		t.AddRow(policy.String(),

@@ -1,15 +1,19 @@
 package tps
 
 import (
+	"context"
 	"fmt"
 	"io"
+	"os"
 	"sort"
+	"time"
 
 	"tps/internal/addr"
 	"tps/internal/buddy"
 	"tps/internal/fragstate"
 	"tps/internal/mmu"
 	"tps/internal/pagetable"
+	"tps/internal/store"
 	"tps/internal/vmm"
 )
 
@@ -33,6 +37,38 @@ type FigureConfig struct {
 	// serial assembly blocks per cell in row order; the rendered output
 	// is still byte-identical — only the live view is new.
 	Progress io.Writer
+
+	// Context, when set, cancels the run: waiters release immediately,
+	// queued cells never start, and in-flight simulations observe the
+	// cancellation inside their reference loops and return its error
+	// within a few thousand references. nil means never canceled.
+	Context context.Context
+
+	// Store, when set, persists every settled cell content-addressed
+	// (see internal/store) and consults it before running, so a killed
+	// run resumes with only its unsettled cells recomputed. Store
+	// failures degrade to in-memory-only operation with one warning —
+	// durability problems never fail a run. Rendered output is
+	// byte-identical whether a cell was computed or replayed.
+	Store store.Interface
+
+	// CellTimeout bounds each cell's wall-clock execution; 0 means no
+	// per-cell deadline. An expired cell fails its figure with
+	// context.DeadlineExceeded without affecting sibling cells.
+	CellTimeout time.Duration
+
+	// Retries re-runs a failed cell up to N additional times under a
+	// capped exponential backoff starting at RetryBackoff (default
+	// 50 ms, doubling, capped at 2 s). The default 0 never retries:
+	// simulation errors are deterministic. Opt in for environments with
+	// transient I/O failures. Panics (CellError) and cancellation are
+	// never retried.
+	Retries      int
+	RetryBackoff time.Duration
+
+	// Warnf receives non-fatal robustness warnings (store degradation);
+	// the default writes one line to stderr.
+	Warnf func(format string, args ...any)
 }
 
 func (c FigureConfig) withDefaults() FigureConfig {
@@ -44,6 +80,14 @@ func (c FigureConfig) withDefaults() FigureConfig {
 	}
 	if c.Suite == nil {
 		c.Suite = EvalSuite()
+	}
+	if c.Context == nil {
+		c.Context = context.Background()
+	}
+	if c.Warnf == nil {
+		c.Warnf = func(format string, args ...any) {
+			fmt.Fprintf(os.Stderr, format+"\n", args...)
+		}
 	}
 	return c
 }
@@ -80,8 +124,14 @@ type runKey struct {
 // NewRunner creates a Runner for the configuration.
 func NewRunner(cfg FigureConfig) *Runner {
 	cfg = cfg.withDefaults()
-	return &Runner{cfg: cfg, eng: newEngine(cfg.Parallelism)}
+	return &Runner{cfg: cfg, eng: newEngine(cfg)}
 }
+
+// ctxErr reports the Runner's cancellation state. Figure methods check it
+// before fanning out their warm-goroutine grids, so a canceled -all run
+// stops launching work between figures instead of spawning fleets of
+// immediately-failing cells.
+func (r *Runner) ctxErr() error { return r.cfg.Context.Err() }
 
 // stream attaches the Runner's progress writer (if any) to a freshly
 // constructed table, announcing its title so the live view shows which
@@ -123,7 +173,8 @@ func (r *Runner) runOpts(w Workload, opts Options, frag bool) (Result, error) {
 	if frag {
 		opts.PreFragment = fragstate.PreFragment(fragstate.DefaultParams())
 	}
-	return r.eng.do(key, func() (Result, error) {
+	return r.eng.do(r.cfg.Context, key, func(ctx context.Context) (Result, error) {
+		opts.Context = ctx
 		res, err := Run(w, opts)
 		if err != nil {
 			return Result{}, fmt.Errorf("run %s/%v: %w", w.Name, opts.Setup, err)
@@ -168,6 +219,9 @@ func (r *Runner) Fig2() (*Table, error) {
 		Header: []string{"benchmark", "native", "native+SMT", "virtualized"},
 	}
 	r.stream(t)
+	if err := r.ctxErr(); err != nil {
+		return nil, err
+	}
 	r.warmSuite(r.cfg.Suite, []Setup{SetupTHP},
 		runFlags{cyc: true}, runFlags{cyc: true, smt: true}, runFlags{cyc: true, virt: true})
 	for _, w := range r.cfg.Suite {
@@ -199,6 +253,9 @@ func (r *Runner) Fig3() (*Table, error) {
 		Header: []string{"benchmark", "speedup"},
 	}
 	r.stream(t)
+	if err := r.ctxErr(); err != nil {
+		return nil, err
+	}
 	r.warmSuite(r.cfg.Suite, []Setup{SetupTHP}, runFlags{cyc: true})
 	for _, w := range r.cfg.Suite {
 		res, err := r.run(w, SetupTHP, runFlags{cyc: true})
@@ -219,6 +276,9 @@ func (r *Runner) Fig8() (*Table, error) {
 		Header: []string{"benchmark", "MPKI", "selected"},
 	}
 	r.stream(t)
+	if err := r.ctxErr(); err != nil {
+		return nil, err
+	}
 	all := Workloads()
 	r.warmSuite(all, []Setup{SetupTHP})
 	type row struct {
@@ -253,6 +313,9 @@ func (r *Runner) Fig9() (*Table, error) {
 		Header: []string{"benchmark", "4K pages", "2M-only pages", "increase"},
 	}
 	r.stream(t)
+	if err := r.ctxErr(); err != nil {
+		return nil, err
+	}
 	r.warmSuite(r.cfg.Suite, []Setup{SetupBase4K, Setup2MOnly})
 	for _, w := range r.cfg.Suite {
 		four, err := r.run(w, SetupBase4K, runFlags{})
@@ -281,6 +344,9 @@ func (r *Runner) Fig10() (*Table, error) {
 		Notes:  []string{"negative eliminations clamp to 0, as in the paper's RMM discussion"},
 	}
 	r.stream(t)
+	if err := r.ctxErr(); err != nil {
+		return nil, err
+	}
 	r.warmSuite(r.cfg.Suite, []Setup{SetupTHP, SetupTPS, SetupCoLT, SetupRMM})
 	var sums [3]float64
 	for _, w := range r.cfg.Suite {
@@ -313,6 +379,9 @@ func (r *Runner) Fig11() (*Table, error) {
 		Notes:  []string{"RMM range-walker fetches count as walk references"},
 	}
 	r.stream(t)
+	if err := r.ctxErr(); err != nil {
+		return nil, err
+	}
 	r.warmSuite(r.cfg.Suite, []Setup{SetupTHP, SetupTPS, SetupRMM, SetupCoLT, SetupTPSEager})
 	var sums [4]float64
 	for _, w := range r.cfg.Suite {
@@ -346,6 +415,9 @@ func (r *Runner) Fig12() (*Table, error) {
 		Header: []string{"benchmark", "savable"},
 	}
 	r.stream(t)
+	if err := r.ctxErr(); err != nil {
+		return nil, err
+	}
 	r.warmSuite(r.cfg.Suite, []Setup{SetupBase4K, SetupTHP}, runFlags{cyc: true})
 	for _, w := range r.cfg.Suite {
 		d, err := r.run(w, SetupBase4K, runFlags{cyc: true}) // THP disabled
@@ -404,6 +476,9 @@ func (r *Runner) speedupFigure(smt bool, title string) (*Table, error) {
 		},
 	}
 	r.stream(t)
+	if err := r.ctxErr(); err != nil {
+		return nil, err
+	}
 	r.warmSuite(r.cfg.Suite, []Setup{SetupTHP}, runFlags{cyc: true, smt: smt})
 	r.warmSuite(r.cfg.Suite, []Setup{SetupTHP, SetupTPS, SetupRMM, SetupCoLT}, runFlags{smt: smt})
 	var sums [4]float64
@@ -453,6 +528,9 @@ func (r *Runner) Fig15() (*Table, error) {
 		Notes:  []string{"state produced by allocation/free churn to 35% free (see internal/fragstate)"},
 	}
 	r.stream(t)
+	if err := r.ctxErr(); err != nil {
+		return nil, err
+	}
 	bud := fragmentedAllocator(r.cfg)
 	cov := bud.Coverage()
 	for o := addr.Order(0); o <= addr.Order1G; o++ {
@@ -470,6 +548,9 @@ func (r *Runner) Fig16() (*Table, error) {
 		Notes:  []string{"baseline: reservation-based THP on the same fragmented state"},
 	}
 	r.stream(t)
+	if err := r.ctxErr(); err != nil {
+		return nil, err
+	}
 	r.warmSuite(r.cfg.Suite, []Setup{SetupTHP, SetupTPS}, runFlags{frag: true})
 	for _, w := range r.cfg.Suite {
 		thp, err := r.run(w, SetupTHP, runFlags{frag: true})
@@ -500,6 +581,9 @@ func (r *Runner) Fig17() (*Table, error) {
 		},
 	}
 	r.stream(t)
+	if err := r.ctxErr(); err != nil {
+		return nil, err
+	}
 	r.warmSuite(r.cfg.Suite, []Setup{SetupTPS}, runFlags{cyc: true})
 	var sum float64
 	for _, w := range r.cfg.Suite {
@@ -523,6 +607,9 @@ func (r *Runner) Fig18() (*Table, error) {
 		Header: []string{"benchmark"},
 	}
 	r.stream(t)
+	if err := r.ctxErr(); err != nil {
+		return nil, err
+	}
 	for o := addr.Order(0); o <= addr.Order1G; o++ {
 		t.Header = append(t.Header, o.String())
 	}

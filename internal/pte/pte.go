@@ -51,6 +51,15 @@ const pfnShift = addr.BasePageShift
 // pfnMask covers the PFN field (bits 12..PhysBits-1).
 const pfnMask = (uint64(1)<<addr.PhysBits - 1) &^ (uint64(1)<<pfnShift - 1)
 
+// maxPFN is the first frame number beyond the PhysBits-wide PFN field.
+const maxPFN = addr.PFN(1) << (addr.PhysBits - pfnShift)
+
+// callerFlags are the flag bits callers may pass to the tailored-entry
+// constructors. The structural bits (P, PS, T, Alias) and the PFN field
+// are owned by the constructors; a stray bit there would silently corrupt
+// the NAPOT size code or frame number, so it is rejected instead.
+const callerFlags = FlagWrite | FlagUser | FlagAccessed | FlagDirty | FlagNX
+
 // Entry is a single 64-bit page-table entry.
 type Entry uint64
 
@@ -120,6 +129,12 @@ func MakeTailored(pfn addr.PFN, order addr.Order, flags uint64) (Entry, error) {
 	if order < 1 || order > addr.MaxOrder {
 		return Zero, fmt.Errorf("pte: tailored order %d out of range [1,%d]", order, addr.MaxOrder)
 	}
+	if flags&^callerFlags != 0 {
+		return Zero, fmt.Errorf("pte: flags %#x carry structural bits %#x", flags, flags&^callerFlags)
+	}
+	if pfn >= maxPFN {
+		return Zero, fmt.Errorf("pte: frame %#x beyond %d-bit physical addressing", pfn, addr.PhysBits)
+	}
 	if !pfn.Aligned(order) {
 		return Zero, fmt.Errorf("pte: frame %#x not aligned to order %d", pfn, order)
 	}
@@ -134,6 +149,9 @@ func MakeTailored(pfn addr.PFN, order addr.Order, flags uint64) (Entry, error) {
 func MakeAlias(order addr.Order, flags uint64) (Entry, error) {
 	if order < 1 || order > addr.MaxOrder {
 		return Zero, fmt.Errorf("pte: alias order %d out of range [1,%d]", order, addr.MaxOrder)
+	}
+	if flags&^callerFlags != 0 {
+		return Zero, fmt.Errorf("pte: flags %#x carry structural bits %#x", flags, flags&^callerFlags)
 	}
 	size := uint64(1)<<(uint(order)-1) - 1
 	raw := flags | FlagPresent | FlagTailored | FlagAlias | size<<pfnShift

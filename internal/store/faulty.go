@@ -1,0 +1,74 @@
+package store
+
+import (
+	"errors"
+	"math/rand"
+	"sync"
+	"sync/atomic"
+)
+
+// ErrInjectedWrite is the failure Faulty injects in place of a write.
+var ErrInjectedWrite = errors.New("store: injected write failure")
+
+// FaultRates configures Faulty's misbehavior as independent
+// probabilities per Put, evaluated in order: fail, torn, flip. Their sum
+// must be <= 1; the remainder of the probability mass writes cleanly.
+type FaultRates struct {
+	WriteFail float64 // Put returns ErrInjectedWrite; nothing is written
+	TornWrite float64 // only a prefix of the entry reaches disk
+	BitFlip   float64 // one entry bit is flipped after checksumming
+}
+
+// Faulty wraps a Store with deterministic, seeded fault injection. It
+// exists to prove the robustness layer's claims in tests: write failures
+// must degrade to in-memory results, torn and bit-flipped entries must
+// quarantine on read and recompute — never panic, hang, or change
+// rendered output.
+type Faulty struct {
+	inner *Store
+	rates FaultRates
+
+	mu  sync.Mutex
+	rng *rand.Rand
+
+	// Injection counters, for tests asserting each path actually fired.
+	Fails atomic.Int64
+	Torn  atomic.Int64
+	Flips atomic.Int64
+}
+
+// NewFaulty wraps the store; the seed makes a test's fault schedule
+// reproducible.
+func NewFaulty(inner *Store, seed int64, rates FaultRates) *Faulty {
+	return &Faulty{inner: inner, rates: rates, rng: rand.New(rand.NewSource(seed))}
+}
+
+// Get passes through: read-side faults are planted by the write side.
+func (f *Faulty) Get(key string) ([]byte, bool, error) { return f.inner.Get(key) }
+
+// Put rolls the fault dice, then either fails outright, plants a corrupt
+// entry (torn prefix or flipped bit) through the store's atomic write
+// path, or writes cleanly.
+func (f *Faulty) Put(key string, data []byte) error {
+	f.mu.Lock()
+	roll := f.rng.Float64()
+	bit := f.rng.Intn(8 * (headerSize + len(data)))
+	f.mu.Unlock()
+
+	switch {
+	case roll < f.rates.WriteFail:
+		f.Fails.Add(1)
+		return ErrInjectedWrite
+	case roll < f.rates.WriteFail+f.rates.TornWrite:
+		f.Torn.Add(1)
+		raw := encodeEntry(data)
+		return f.inner.putRaw(key, raw[:len(raw)/2])
+	case roll < f.rates.WriteFail+f.rates.TornWrite+f.rates.BitFlip:
+		f.Flips.Add(1)
+		raw := encodeEntry(data)
+		raw[bit/8] ^= 1 << (bit % 8)
+		return f.inner.putRaw(key, raw)
+	default:
+		return f.inner.Put(key, data)
+	}
+}

@@ -1,0 +1,210 @@
+// Package store is a content-addressed, crash-safe result store for
+// simulation cells: the durability layer that lets a killed figures run
+// resume with only its unsettled cells recomputed, and the foundation the
+// ROADMAP's scale-out item needs (the cache key is a value type; a shared
+// store makes the engine distributable across processes and hosts).
+//
+// Keys are hex SHA-256 digests of a caller-built fingerprint string (the
+// full cell configuration plus a simulator-version salt), so an entry can
+// never be replayed against the wrong parameters or a different simulator
+// revision — stale state misses instead of corrupting output.
+//
+// Entries are written atomically (temp file + rename into place) and
+// carry a small envelope — magic, payload length, CRC-32 — validated on
+// every read. A short, torn, or bit-flipped entry is quarantined (moved
+// into the quarantine/ subdirectory for postmortem) and reported as a
+// miss, so the cell is simply recomputed: corruption degrades to work,
+// never to wrong answers or failed runs.
+package store
+
+import (
+	"encoding/binary"
+	"encoding/hex"
+	"errors"
+	"fmt"
+	"hash/crc32"
+	"os"
+	"path/filepath"
+	"strings"
+	"sync"
+	"sync/atomic"
+
+	"crypto/sha256"
+)
+
+// Interface is the store surface the experiment engine consumes. Get
+// reports a miss as ok == false with a nil error; err is reserved for
+// environmental failures (permissions, I/O) the caller may warn about.
+type Interface interface {
+	Get(key string) (data []byte, ok bool, err error)
+	Put(key string, data []byte) error
+}
+
+// KeyOf derives the content address for a cell fingerprint.
+func KeyOf(fingerprint string) string {
+	sum := sha256.Sum256([]byte(fingerprint))
+	return hex.EncodeToString(sum[:])
+}
+
+// Entry envelope: magic, big-endian CRC-32 (IEEE) of the payload,
+// big-endian payload length, payload. Anything that fails validation is
+// quarantined on read.
+const (
+	entryMagic  = "TPS1"
+	headerSize  = len(entryMagic) + 4 + 8
+	entrySuffix = ".cell"
+	// quarantineDir collects corrupt entries for postmortem instead of
+	// deleting evidence.
+	quarantineDir = "quarantine"
+)
+
+// Store is the on-disk implementation of Interface. All methods are safe
+// for concurrent use; distinct keys never contend on the same file and
+// same-key writers race only at the final rename, which is atomic.
+type Store struct {
+	dir string
+
+	quarantined atomic.Int64
+
+	mu  sync.Mutex // serializes quarantine renames
+	seq atomic.Int64
+}
+
+// Open creates (if needed) and probes the store directory. An unwritable
+// directory is reported here, once, so the caller can degrade to
+// in-memory-only operation instead of failing the run.
+func Open(dir string) (*Store, error) {
+	if err := os.MkdirAll(filepath.Join(dir, quarantineDir), 0o755); err != nil {
+		return nil, fmt.Errorf("store: create %s: %w", dir, err)
+	}
+	probe := filepath.Join(dir, ".probe")
+	if err := os.WriteFile(probe, []byte("ok"), 0o644); err != nil {
+		return nil, fmt.Errorf("store: %s not writable: %w", dir, err)
+	}
+	os.Remove(probe)
+	return &Store{dir: dir}, nil
+}
+
+// Dir returns the store's root directory.
+func (s *Store) Dir() string { return s.dir }
+
+func (s *Store) path(key string) string { return filepath.Join(s.dir, key+entrySuffix) }
+
+// Get loads and validates one entry. Corrupt or short entries are moved
+// to the quarantine directory and reported as a miss.
+func (s *Store) Get(key string) ([]byte, bool, error) {
+	raw, err := os.ReadFile(s.path(key))
+	if errors.Is(err, os.ErrNotExist) {
+		return nil, false, nil
+	}
+	if err != nil {
+		return nil, false, fmt.Errorf("store: read %s: %w", key, err)
+	}
+	payload, err := decodeEntry(raw)
+	if err != nil {
+		s.quarantine(key)
+		return nil, false, nil
+	}
+	return payload, true, nil
+}
+
+// Put writes one entry atomically: the envelope lands in a temp file in
+// the same directory, then renames over the final name, so readers (and
+// a resumed run after a mid-write kill) see either the whole entry or
+// none of it.
+func (s *Store) Put(key string, data []byte) error {
+	return s.putRaw(key, encodeEntry(data))
+}
+
+// putRaw writes pre-built envelope bytes; Faulty uses it to plant torn
+// and bit-flipped entries that exercise the validation path.
+func (s *Store) putRaw(key string, raw []byte) error {
+	tmp := filepath.Join(s.dir, fmt.Sprintf(".tmp-%s-%d", key[:min(8, len(key))], s.seq.Add(1)))
+	f, err := os.OpenFile(tmp, os.O_WRONLY|os.O_CREATE|os.O_EXCL, 0o644)
+	if err != nil {
+		return fmt.Errorf("store: write %s: %w", key, err)
+	}
+	_, werr := f.Write(raw)
+	if werr == nil {
+		werr = f.Sync()
+	}
+	if cerr := f.Close(); werr == nil {
+		werr = cerr
+	}
+	if werr != nil {
+		os.Remove(tmp)
+		return fmt.Errorf("store: write %s: %w", key, werr)
+	}
+	if err := os.Rename(tmp, s.path(key)); err != nil {
+		os.Remove(tmp)
+		return fmt.Errorf("store: commit %s: %w", key, err)
+	}
+	return nil
+}
+
+// quarantine moves a corrupt entry aside so it cannot shadow a good
+// recompute and remains inspectable.
+func (s *Store) quarantine(key string) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	dst := filepath.Join(s.dir, quarantineDir, key+entrySuffix)
+	if err := os.Rename(s.path(key), dst); err != nil && !errors.Is(err, os.ErrNotExist) {
+		// Last resort: a corrupt entry we cannot move must not keep
+		// shadowing recomputed results.
+		os.Remove(s.path(key))
+	}
+	s.quarantined.Add(1)
+}
+
+// Quarantined reports how many corrupt entries this process moved aside.
+func (s *Store) Quarantined() int { return int(s.quarantined.Load()) }
+
+// Count returns the number of settled entries currently on disk — the
+// "resuming from N cells" number.
+func (s *Store) Count() (int, error) {
+	ents, err := os.ReadDir(s.dir)
+	if err != nil {
+		return 0, err
+	}
+	n := 0
+	for _, e := range ents {
+		if !e.IsDir() && strings.HasSuffix(e.Name(), entrySuffix) {
+			n++
+		}
+	}
+	return n, nil
+}
+
+func encodeEntry(payload []byte) []byte {
+	raw := make([]byte, headerSize+len(payload))
+	copy(raw, entryMagic)
+	binary.BigEndian.PutUint32(raw[4:], crc32.ChecksumIEEE(payload))
+	binary.BigEndian.PutUint64(raw[8:], uint64(len(payload)))
+	copy(raw[headerSize:], payload)
+	return raw
+}
+
+func decodeEntry(raw []byte) ([]byte, error) {
+	if len(raw) < headerSize || string(raw[:4]) != entryMagic {
+		return nil, errors.New("store: bad entry header")
+	}
+	n := binary.BigEndian.Uint64(raw[8:])
+	if uint64(len(raw)-headerSize) != n {
+		return nil, errors.New("store: short or oversized entry")
+	}
+	payload := raw[headerSize:]
+	if crc32.ChecksumIEEE(payload) != binary.BigEndian.Uint32(raw[4:]) {
+		return nil, errors.New("store: checksum mismatch")
+	}
+	return payload, nil
+}
+
+// WriteOnly returns a view of s that records every settled cell but never
+// replays one: a fresh (non -resume) run that still leaves a complete
+// crash-recovery trail behind it.
+func WriteOnly(s Interface) Interface { return writeOnly{s} }
+
+type writeOnly struct{ inner Interface }
+
+func (w writeOnly) Get(string) ([]byte, bool, error)  { return nil, false, nil }
+func (w writeOnly) Put(key string, data []byte) error { return w.inner.Put(key, data) }

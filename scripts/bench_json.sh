@@ -1,16 +1,21 @@
-#!/bin/sh
+#!/usr/bin/env bash
 # Regenerates the machine-readable benchmark record (BENCH_PR2.json by
 # default): runs the per-reference hot-loop benchmarks and emits one JSON
 # object per setup with ns/ref and allocs/ref. Run on an idle machine;
 # compare across commits with benchstat on the raw `go test -bench` output.
 #
+# The JSON lands atomically: awk writes to a temp file that is renamed
+# into place only on success, and the EXIT trap removes both temp files,
+# so a failed bench run never leaves a truncated $out behind.
+#
 #   scripts/bench_json.sh [output.json]
-set -eu
+set -euo pipefail
 cd "$(dirname "$0")/.."
 out="${1:-BENCH_PR2.json}"
 
 raw="$(mktemp)"
-trap 'rm -f "$raw"' EXIT
+tmp="$(mktemp)"
+trap 'rm -f "$raw" "$tmp"' EXIT
 go test -run='^$' -bench='RefLoop' -benchmem -count=1 ./internal/sim | tee "$raw" >&2
 
 awk -v date="$(date -u +%Y-%m-%dT%H:%M:%SZ)" '
@@ -51,5 +56,6 @@ END {
     printf "  \"results\": [\n"
     for (i = 1; i <= n; i++) printf "%s%s\n", rows[i], i < n ? "," : ""
     printf "  ]\n}\n"
-}' "$raw" > "$out"
+}' "$raw" > "$tmp"
+mv "$tmp" "$out"
 echo "wrote $out" >&2
