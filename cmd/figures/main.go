@@ -19,6 +19,18 @@
 //	figures -all -store results/            # persist every settled cell
 //	figures -all -store results/ -resume    # replay settled cells, run the rest
 //
+// Observability (see internal/telemetry): long sweeps are not black
+// boxes. -events FILE appends one JSONL line per cell lifecycle event
+// (queued/started/finished with counters, ...); -listen ADDR serves live
+// metrics (/metrics) and pprof (/debug/pprof/) while the run executes;
+// -manifest FILE writes an atomic run manifest — config, per-cell wall
+// clock, exit status — at exit, including on SIGINT. None of these
+// perturb stdout or modeled statistics by a single byte.
+//
+//	figures -all -events run.jsonl -manifest manifest.json
+//	figures -all -listen 127.0.0.1:6060     # curl /metrics mid-run
+//	tpsreport run.jsonl                     # post-run accounting
+//
 // A -store run that is killed partway (SIGKILL, OOM, power) leaves only
 // complete, checksummed cells behind; rerunning with -resume replays them
 // and recomputes the rest, producing stdout byte-identical to an
@@ -30,6 +42,8 @@ import (
 	"errors"
 	"flag"
 	"fmt"
+	"net"
+	"net/http"
 	"os"
 	"os/signal"
 	"runtime"
@@ -40,9 +54,17 @@ import (
 
 	"tps"
 	"tps/internal/store"
+	"tps/internal/telemetry"
 )
 
 func main() {
+	os.Exit(run())
+}
+
+// run is the real main: it returns the exit code instead of calling
+// os.Exit, so deferred work — profile flushes, the run manifest — happens
+// on every exit path, including cancellation.
+func run() (code int) {
 	var (
 		fig        = flag.Int("fig", 0, "figure number to regenerate (2,3,8,9,...,18)")
 		all        = flag.Bool("all", false, "regenerate every table and figure")
@@ -59,6 +81,9 @@ func main() {
 		resume     = flag.Bool("resume", false, "with -store: replay already-settled cells instead of recomputing them")
 		cellTO     = flag.Duration("cell-timeout", 0, "per-cell deadline (0 = none); an overrunning cell fails its figure, not the process")
 		retries    = flag.Int("retries", 0, "re-run a transiently failing cell up to N times under capped exponential backoff")
+		events     = flag.String("events", "", "append structured per-cell lifecycle events (JSONL) to this file")
+		listen     = flag.String("listen", "", "serve live metrics (/metrics) and pprof (/debug/pprof/) on this address while running")
+		manifest   = flag.String("manifest", "", "write an atomic run manifest (config, per-cell wall clock, exit status) to this file at exit")
 	)
 	flag.Parse()
 
@@ -71,20 +96,20 @@ func main() {
 	if *cpuprofile != "" {
 		f, err := os.Create(*cpuprofile)
 		if err != nil {
-			fatal(err)
+			return fail(err)
 		}
 		if err := pprof.StartCPUProfile(f); err != nil {
-			fatal(err)
+			return fail(err)
 		}
 		defer pprof.StopCPUProfile()
 	}
 	if *tracefile != "" {
 		f, err := os.Create(*tracefile)
 		if err != nil {
-			fatal(err)
+			return fail(err)
 		}
 		if err := rtrace.Start(f); err != nil {
-			fatal(err)
+			return fail(err)
 		}
 		defer rtrace.Stop()
 	}
@@ -92,19 +117,47 @@ func main() {
 		defer func() {
 			f, err := os.Create(*memprofile)
 			if err != nil {
-				fatal(err)
+				code = fail(err)
+				return
 			}
 			defer f.Close()
 			runtime.GC()
 			if err := pprof.WriteHeapProfile(f); err != nil {
-				fatal(err)
+				code = fail(err)
 			}
 		}()
+	}
+
+	// Telemetry is always recorded (its hot-path cost is one per-worker
+	// atomic add per 512-reference batch); the flags choose which views
+	// exist: JSONL events, the live endpoint, the manifest, and the
+	// end-of-run summary on stderr.
+	rec := telemetry.New()
+	if *events != "" {
+		f, err := os.OpenFile(*events, os.O_WRONLY|os.O_CREATE|os.O_APPEND, 0o644)
+		if err != nil {
+			return fail(err)
+		}
+		defer f.Close()
+		// The file is unbuffered: each event is one atomic write syscall,
+		// so a tail -f (or a crash) only ever sees whole lines.
+		rec.LogTo(telemetry.NewEventLog(f))
+	}
+	if *listen != "" {
+		ln, err := net.Listen("tcp", *listen)
+		if err != nil {
+			return fail(err)
+		}
+		fmt.Fprintf(os.Stderr, "figures: serving metrics on http://%s/metrics (pprof on /debug/pprof/)\n", ln.Addr())
+		srv := &http.Server{Handler: telemetry.Handler(rec)}
+		go srv.Serve(ln)
+		defer srv.Close()
 	}
 
 	cfg := tps.FigureConfig{
 		Refs: *refs, Seed: *seed, Parallelism: *parallel,
 		Context: ctx, CellTimeout: *cellTO, Retries: *retries,
+		Telemetry: rec,
 	}
 	if *progress {
 		cfg.Progress = os.Stderr
@@ -114,14 +167,14 @@ func main() {
 			w, ok := tps.WorkloadByName(strings.TrimSpace(name))
 			if !ok {
 				fmt.Fprintf(os.Stderr, "figures: unknown workload %q\n", name)
-				os.Exit(2)
+				return 2
 			}
 			cfg.Suite = append(cfg.Suite, w)
 		}
 	}
 	if *resume && *storeDir == "" {
 		fmt.Fprintln(os.Stderr, "figures: -resume requires -store DIR")
-		os.Exit(2)
+		return 2
 	}
 	if *storeDir != "" {
 		st, err := store.Open(*storeDir)
@@ -129,18 +182,78 @@ func main() {
 			// An unwritable store degrades to in-memory-only: warn
 			// once, never fail the run.
 			fmt.Fprintf(os.Stderr, "figures: store unavailable, running in-memory only: %v\n", err)
-		} else if *resume {
-			if n, err := st.Count(); err == nil && n > 0 {
-				fmt.Fprintf(os.Stderr, "figures: resuming from %s (%d settled cells)\n", st.Dir(), n)
-			}
-			cfg.Store = st
 		} else {
-			// Fresh run: persist every settled cell for a later
-			// -resume, but never replay — stdout must reflect this
-			// binary's computation, not a stale store.
-			cfg.Store = store.WriteOnly(st)
+			// Corrupt entries surface in telemetry (event + summary
+			// count) instead of only as quarantine/ files on disk.
+			st.OnQuarantine = rec.StoreQuarantined
+			if *resume {
+				if n, err := st.Count(); err == nil && n > 0 {
+					fmt.Fprintf(os.Stderr, "figures: resuming from %s (%d settled cells)\n", st.Dir(), n)
+				}
+				cfg.Store = st
+			} else {
+				// Fresh run: persist every settled cell for a later
+				// -resume, but never replay — stdout must reflect this
+				// binary's computation, not a stale store.
+				cfg.Store = store.WriteOnly(st)
+			}
 		}
 	}
+
+	// target records what was asked for, for the manifest.
+	target := ""
+	switch {
+	case *all && *ablations:
+		target = "-all -ablations"
+	case *all:
+		target = "-all"
+	case *ablations:
+		target = "-ablations"
+	case *fig != 0:
+		target = fmt.Sprintf("-fig %d", *fig)
+	}
+
+	// The manifest is written on every exit path — clean, failed, or
+	// canceled — so even an interrupted sweep leaves an attributable,
+	// atomic record of what settled and why it stopped.
+	var runErr error
+	if *manifest != "" {
+		defer func() {
+			m := rec.Manifest()
+			m.Version = tps.SimVersion
+			m.Argv = os.Args
+			m.Config = telemetry.RunConfig{
+				Refs:         *refs,
+				Seed:         *seed,
+				MemoryPages:  1 << 22, // the FigureConfig default; no flag overrides it
+				Parallelism:  *parallel,
+				Target:       target,
+				CellTimeoutS: cellTO.Seconds(),
+				Retries:      *retries,
+				StoreDir:     *storeDir,
+				Resume:       *resume,
+			}
+			for _, w := range cfg.Suite {
+				m.Config.Suite = append(m.Config.Suite, w.Name)
+			}
+			m.Exit = telemetry.ExitStatus{Status: "ok", Code: code}
+			if runErr != nil {
+				m.Exit.Error = runErr.Error()
+				if errors.Is(runErr, context.Canceled) {
+					m.Exit.Status = "interrupted"
+				} else {
+					m.Exit.Status = "error"
+				}
+			}
+			if err := telemetry.WriteManifest(*manifest, m); err != nil {
+				fmt.Fprintf(os.Stderr, "figures: %v\n", err)
+				if code == 0 {
+					code = 1
+				}
+			}
+		}()
+	}
+
 	r := tps.NewRunner(cfg)
 
 	figures := map[int]func() (*tps.Table, error){
@@ -163,46 +276,65 @@ func main() {
 	switch {
 	case *all:
 		for _, n := range []int{1, 2, 3, 8, 9, 10, 11, 12, 13, 14, 15, 16, 17, 18} {
-			render(figures[n])
+			if runErr = render(figures[n]); runErr != nil {
+				return fail(runErr)
+			}
 		}
 		if *ablations {
-			runAblations(r)
+			if runErr = runAblations(r); runErr != nil {
+				return fail(runErr)
+			}
 		}
 	case *ablations:
-		runAblations(r)
+		if runErr = runAblations(r); runErr != nil {
+			return fail(runErr)
+		}
 	case *fig != 0:
 		f, ok := figures[*fig]
 		if !ok {
 			fmt.Fprintf(os.Stderr, "no such figure %d (have 1-3, 8-18; 4-7 are hardware schematics realized in code)\n", *fig)
-			os.Exit(1)
+			return 1
 		}
-		render(f)
+		if runErr = render(f); runErr != nil {
+			return fail(runErr)
+		}
 	default:
 		flag.Usage()
-		os.Exit(2)
+		return 2
 	}
+
+	// End-of-run accounting: cells, store effectiveness, retries, and
+	// the previously silent quarantine count. stderr only — stdout stays
+	// the canonical, diffable figure output.
+	if *progress || *storeDir != "" || *events != "" || *listen != "" || *manifest != "" {
+		fmt.Fprintf(os.Stderr, "figures: %s\n", rec.SummaryLine())
+	}
+	return 0
 }
 
-func fatal(err error) {
+// fail reports a run-ending error and maps it to the exit code: 130 for a
+// clean cancellation (the shell convention for SIGINT), 1 otherwise.
+func fail(err error) int {
 	if errors.Is(err, context.Canceled) {
 		fmt.Fprintln(os.Stderr, "figures: interrupted")
-		os.Exit(130)
+		return 130
 	}
 	fmt.Fprintf(os.Stderr, "figures: %v\n", err)
-	os.Exit(1)
+	return 1
 }
 
-// render runs one figure and prints it, or reports the failure and exits
-// nonzero — a failed cell is a diagnosis, not a stack trace.
-func render(f func() (*tps.Table, error)) {
+// render runs one figure and prints it, or reports the failure — a failed
+// cell is a diagnosis, not a stack trace.
+func render(f func() (*tps.Table, error)) error {
 	t, err := f()
 	if err != nil {
-		fatal(err)
+		return err
 	}
 	fmt.Println(t.Render())
+	return nil
 }
 
-func runAblations(r *tps.Runner) {
+func runAblations(r *tps.Runner) error {
 	for _, f := range []func() (*tps.Table, error){
 		r.AblationAliasStrategy,
 		r.AblationPromotionThreshold,
@@ -213,6 +345,9 @@ func runAblations(r *tps.Runner) {
 		r.ExtCompactionDaemon,
 		r.ExtCowPolicies,
 	} {
-		render(f)
+		if err := render(f); err != nil {
+			return err
+		}
 	}
+	return nil
 }

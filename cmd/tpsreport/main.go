@@ -1,0 +1,192 @@
+// Command tpsreport renders a figures -events JSONL file into the
+// post-run accounting a long sweep needs: a per-cell duration/status
+// table (slowest first), plus store-hit-rate, dedup, retry, and
+// quarantine summaries. It validates every line against the event schema
+// while reading — a malformed or unknown-field line is an error with its
+// line number, not a silent skip.
+//
+// Usage:
+//
+//	figures -all -events run.jsonl
+//	tpsreport run.jsonl                # summary + 10 slowest cells
+//	tpsreport -slowest 25 run.jsonl
+//	tpsreport -cells run.jsonl         # every settled cell, slowest first
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"sort"
+	"time"
+
+	"tps"
+	"tps/internal/telemetry"
+)
+
+// cell accumulates one cell's lifecycle from its event stream.
+type cell struct {
+	key      string
+	workload string
+	setup    string
+	status   string // finished / failed / store-hit / "" (still running at EOF)
+	dur      time.Duration
+	worker   int
+	retries  int
+	refs     uint64
+	err      string
+}
+
+func main() {
+	os.Exit(run())
+}
+
+func run() int {
+	var (
+		slowest  = flag.Int("slowest", 10, "how many slowest cells to list")
+		allCells = flag.Bool("cells", false, "list every settled cell instead of only the slowest")
+	)
+	flag.Parse()
+	if flag.NArg() != 1 {
+		fmt.Fprintln(os.Stderr, "usage: tpsreport [-slowest N] [-cells] EVENTS.jsonl")
+		return 2
+	}
+	f, err := os.Open(flag.Arg(0))
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "tpsreport: %v\n", err)
+		return 1
+	}
+	defer f.Close()
+	events, err := telemetry.ReadEvents(f)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "tpsreport: %s: %v\n", flag.Arg(0), err)
+		return 1
+	}
+	if len(events) == 0 {
+		fmt.Fprintln(os.Stderr, "tpsreport: no events")
+		return 1
+	}
+
+	cells := map[string]*cell{}
+	get := func(ev telemetry.Event) *cell {
+		c, ok := cells[ev.Cell]
+		if !ok {
+			c = &cell{key: ev.Cell, worker: -1}
+			cells[ev.Cell] = c
+		}
+		if ev.Workload != "" {
+			c.workload, c.setup = ev.Workload, ev.Setup
+		}
+		return c
+	}
+	var dedup, quarantined int
+	var span int64
+	for _, ev := range events {
+		if ev.TNS > span {
+			span = ev.TNS
+		}
+		switch ev.Event {
+		case telemetry.EventDedupJoined:
+			dedup++
+		case telemetry.EventQuarantined:
+			quarantined++
+		case telemetry.EventQueued:
+			get(ev)
+		case telemetry.EventStarted:
+			get(ev).worker = ev.Worker
+		case telemetry.EventRetried:
+			get(ev).retries++
+		case telemetry.EventStoreHit, telemetry.EventFinished, telemetry.EventFailed:
+			c := get(ev)
+			c.status = ev.Event
+			c.dur = time.Duration(ev.DurNS)
+			c.worker = ev.Worker
+			c.err = ev.Error
+			if ev.Counters != nil {
+				c.refs = ev.Counters.Refs
+			}
+		}
+	}
+
+	var settled []*cell
+	var computed, hits, failed, running int
+	var wall time.Duration
+	for _, c := range cells {
+		switch c.status {
+		case telemetry.EventFinished:
+			computed++
+		case telemetry.EventStoreHit:
+			hits++
+		case telemetry.EventFailed:
+			failed++
+		default:
+			running++
+			continue
+		}
+		settled = append(settled, c)
+		wall += c.dur
+	}
+	sort.Slice(settled, func(i, j int) bool {
+		if settled[i].dur != settled[j].dur {
+			return settled[i].dur > settled[j].dur
+		}
+		return settled[i].key < settled[j].key
+	})
+
+	sum := &tps.Table{
+		Title:  fmt.Sprintf("Run report: %s", flag.Arg(0)),
+		Header: []string{"metric", "value"},
+	}
+	sum.AddRow("events", fmt.Sprintf("%d", len(events)))
+	sum.AddRow("event span", time.Duration(span).Round(time.Millisecond).String())
+	sum.AddRow("cells settled", fmt.Sprintf("%d", len(settled)))
+	sum.AddRow("  computed", fmt.Sprintf("%d", computed))
+	sum.AddRow("  store hits", fmt.Sprintf("%d", hits))
+	sum.AddRow("  failed", fmt.Sprintf("%d", failed))
+	if running > 0 {
+		sum.AddRow("  unsettled at EOF", fmt.Sprintf("%d", running))
+	}
+	if hits+computed > 0 {
+		sum.AddRow("store hit rate", fmt.Sprintf("%.1f%%", 100*float64(hits)/float64(hits+computed)))
+	}
+	sum.AddRow("dedup joins", fmt.Sprintf("%d", dedup))
+	sum.AddRow("quarantined entries", fmt.Sprintf("%d", quarantined))
+	sum.AddRow("cell wall clock (sum)", wall.Round(time.Millisecond).String())
+	fmt.Println(sum.Render())
+
+	n := *slowest
+	if *allCells || n > len(settled) {
+		n = len(settled)
+	}
+	if n == 0 {
+		return 0
+	}
+	title := fmt.Sprintf("Slowest %d cells", n)
+	if *allCells {
+		title = "Settled cells (slowest first)"
+	}
+	tbl := &tps.Table{
+		Title:  title,
+		Header: []string{"workload", "setup", "status", "wall", "worker", "refs", "cell"},
+	}
+	for _, c := range settled[:n] {
+		status := c.status
+		if c.retries > 0 {
+			status = fmt.Sprintf("%s (%d retries)", status, c.retries)
+		}
+		refs := ""
+		if c.refs > 0 {
+			refs = fmt.Sprintf("%d", c.refs)
+		}
+		tbl.AddRow(c.workload, c.setup, status,
+			c.dur.Round(time.Millisecond).String(),
+			fmt.Sprintf("%d", c.worker), refs, c.key[:12])
+	}
+	for _, c := range settled[:n] {
+		if c.err != "" {
+			tbl.Notes = append(tbl.Notes, fmt.Sprintf("%s/%s failed: %s", c.workload, c.setup, c.err))
+		}
+	}
+	fmt.Println(tbl.Render())
+	return 0
+}

@@ -13,6 +13,7 @@ import (
 	"time"
 
 	"tps/internal/store"
+	"tps/internal/telemetry"
 )
 
 // engine is the concurrency-safe heart of the Runner: a
@@ -30,10 +31,15 @@ import (
 // and consulted before running, so a killed run resumes with only its
 // unsettled cells recomputed.
 type engine struct {
-	cfg     FigureConfig
-	sem     chan struct{} // worker-pool tokens
-	mu      sync.Mutex    // guards flights
+	cfg FigureConfig
+	// sem holds worker-slot IDs: acquiring a token tells the holder which
+	// slot it occupies, which is what per-worker telemetry (current cell,
+	// refs/sec) keys on. With telemetry off the IDs are inert tokens.
+	sem     chan int
+	mu      sync.Mutex // guards flights
 	flights map[runKey]*flight
+
+	tel *telemetry.Recorder // nil: telemetry off, zero overhead
 
 	warned atomic.Bool // one store warning per engine, never a failed run
 }
@@ -62,11 +68,11 @@ func (e *CellError) Error() string {
 	return fmt.Sprintf("cell %s/%v panicked: %v", e.Workload, e.Setup, e.Panic)
 }
 
-// simVersionSalt fingerprints the simulator revision into every store
-// key. Bump it whenever a change intentionally alters modeled statistics,
-// so stale persisted cells miss (and recompute) instead of resurrecting
-// old numbers into new runs.
-const simVersionSalt = "tps-sim-v1"
+// SimVersion fingerprints the simulator revision into every store key
+// and into run manifests. Bump it whenever a change intentionally alters
+// modeled statistics, so stale persisted cells miss (and recompute)
+// instead of resurrecting old numbers into new runs.
+const SimVersion = "tps-sim-v1"
 
 // newEngine sizes the worker pool; cfg.Parallelism <= 0 means GOMAXPROCS.
 // cfg must already carry its defaults (NewRunner applies them).
@@ -75,11 +81,28 @@ func newEngine(cfg FigureConfig) *engine {
 	if parallelism <= 0 {
 		parallelism = runtime.GOMAXPROCS(0)
 	}
-	return &engine{
+	e := &engine{
 		cfg:     cfg,
-		sem:     make(chan struct{}, parallelism),
+		sem:     make(chan int, parallelism),
 		flights: make(map[runKey]*flight),
+		tel:     cfg.Telemetry,
 	}
+	for slot := 0; slot < parallelism; slot++ {
+		e.sem <- slot
+	}
+	e.tel.ConfigureWorkers(parallelism)
+	return e
+}
+
+// runFunc executes one cell. onRefs, when non-nil, is the telemetry
+// per-batch reference hook bound to the worker slot running the cell; the
+// simulation loop calls it once per delivered batch.
+type runFunc func(ctx context.Context, onRefs func(uint64)) (Result, error)
+
+// cellInfo labels a cell for telemetry. Only called with telemetry on:
+// the content address costs a SHA-256 of the fingerprint.
+func (e *engine) cellInfo(k runKey) telemetry.CellInfo {
+	return telemetry.CellInfo{Key: e.cellKey(k), Workload: k.name, Setup: k.setup.String()}
 }
 
 // do returns the cached or in-flight result for key, or executes fn under
@@ -87,10 +110,13 @@ func newEngine(cfg FigureConfig) *engine {
 // blocks until that flight lands and shares its result. A canceled ctx
 // releases waiters immediately and aborts queued work before it starts;
 // the flight then memoizes the cancellation so later callers fail fast.
-func (e *engine) do(ctx context.Context, key runKey, fn func(context.Context) (Result, error)) (Result, error) {
+func (e *engine) do(ctx context.Context, key runKey, fn runFunc) (Result, error) {
 	e.mu.Lock()
 	if f, ok := e.flights[key]; ok {
 		e.mu.Unlock()
+		if e.tel != nil {
+			e.tel.CellDedupJoined(e.cellInfo(key))
+		}
 		select {
 		case <-f.done:
 			return f.res, f.err
@@ -102,41 +128,79 @@ func (e *engine) do(ctx context.Context, key runKey, fn func(context.Context) (R
 	e.flights[key] = f
 	e.mu.Unlock()
 
+	// ci is computed once per cell, only with telemetry on (the content
+	// address hashes the full fingerprint).
+	var ci telemetry.CellInfo
+	if e.tel != nil {
+		ci = e.cellInfo(key)
+		e.tel.CellQueued(ci)
+	}
+
 	// The flight must land no matter how fn exits — error, panic, or
 	// cancellation — or every sibling waiter deadlocks forever.
 	defer close(f.done)
 
+	var slot int
 	select {
-	case e.sem <- struct{}{}:
+	case slot = <-e.sem:
 	case <-ctx.Done():
 		f.err = ctx.Err()
 		return f.res, f.err
 	}
-	defer func() { <-e.sem }()
+	defer func() { e.sem <- slot }()
 
 	if res, ok := e.replay(key); ok {
+		e.tel.CellStoreHit(ci, slot)
 		f.res = res
 		return f.res, nil
 	}
-	f.res, f.err = e.runCell(ctx, key, fn)
+	e.tel.CellStarted(ci, slot)
+	var start time.Time
+	if e.tel != nil {
+		start = time.Now()
+	}
+	f.res, f.err = e.runCell(ctx, ci, key, slot, fn)
+	if e.tel != nil {
+		d := time.Since(start)
+		if f.err != nil {
+			e.tel.CellFailed(ci, slot, d, f.err)
+		} else {
+			e.tel.CellFinished(ci, slot, d, cellCounters(f.res))
+		}
+	}
 	if f.err == nil {
 		e.persist(key, f.res)
 	}
 	return f.res, f.err
 }
 
+// cellCounters snapshots the modeled statistics a finished event carries:
+// the figure-level numbers a diverging cell is debugged against.
+func cellCounters(res Result) telemetry.Counters {
+	return telemetry.Counters{
+		Refs:        res.Refs,
+		L1Hits:      res.MMU.L1Hits,
+		L1Misses:    res.MMU.L1Misses,
+		L2Hits:      res.MMU.STLBHits,
+		L2Misses:    res.MMU.STLBMisses,
+		WalkMemRefs: res.WalkMemRefs,
+		AliasExtras: res.MMU.AliasExtras,
+	}
+}
+
 // runCell executes one attempt plus up to cfg.Retries re-runs under a
 // capped exponential backoff — the opt-in path for transient store or I/O
 // errors. Panics (CellError) are deterministic and never retried;
 // cancellation is final.
-func (e *engine) runCell(ctx context.Context, key runKey, fn func(context.Context) (Result, error)) (Result, error) {
+func (e *engine) runCell(ctx context.Context, ci telemetry.CellInfo, key runKey, slot int, fn runFunc) (Result, error) {
 	backoff := e.cfg.RetryBackoff
 	if backoff <= 0 {
 		backoff = 50 * time.Millisecond
 	}
 	const maxBackoff = 2 * time.Second
+	onRefs := e.tel.WorkerRefs(slot) // nil with telemetry off
 	for attempt := 0; ; attempt++ {
-		res, err := e.attempt(ctx, key, fn)
+		res, err := e.attempt(ctx, key, fn, onRefs)
 		if err == nil || attempt >= e.cfg.Retries {
 			return res, err
 		}
@@ -152,12 +216,13 @@ func (e *engine) runCell(ctx context.Context, key runKey, fn func(context.Contex
 		if backoff *= 2; backoff > maxBackoff {
 			backoff = maxBackoff
 		}
+		e.tel.CellRetried(ci, slot, attempt+1)
 	}
 }
 
 // attempt runs fn once with the per-cell deadline applied, converting a
 // panic into a structured, memoizable CellError.
-func (e *engine) attempt(ctx context.Context, key runKey, fn func(context.Context) (Result, error)) (res Result, err error) {
+func (e *engine) attempt(ctx context.Context, key runKey, fn runFunc, onRefs func(uint64)) (res Result, err error) {
 	if e.cfg.CellTimeout > 0 {
 		var cancel context.CancelFunc
 		ctx, cancel = context.WithTimeout(ctx, e.cfg.CellTimeout)
@@ -174,7 +239,7 @@ func (e *engine) attempt(ctx context.Context, key runKey, fn func(context.Contex
 			}
 		}
 	}()
-	return fn(ctx)
+	return fn(ctx, onRefs)
 }
 
 // fingerprint renders a cell's complete identity — every runKey field
@@ -183,7 +248,7 @@ func (e *engine) attempt(ctx context.Context, key runKey, fn func(context.Contex
 // share a fingerprint exactly when their Results must be identical.
 func (e *engine) fingerprint(k runKey) string {
 	return fmt.Sprintf("%s|refs=%d|seed=%d|mem=%d|w=%s|setup=%d|smt=%t|virt=%t|frag=%t|cyc=%t|thr=%g|sizing=%d|alias=%d|cfail=%t|lvl=%d|tlbe=%d|skew=%t|ce=%d",
-		simVersionSalt, e.cfg.Refs, e.cfg.Seed, e.cfg.MemoryPages,
+		SimVersion, e.cfg.Refs, e.cfg.Seed, e.cfg.MemoryPages,
 		k.name, k.setup, k.smt, k.virt, k.frag, k.cyc,
 		k.threshold, k.sizing, k.alias, k.compactFail,
 		k.levels, k.tlbEntries, k.skewed, k.compactEvery)
@@ -203,14 +268,17 @@ func (e *engine) replay(k runKey) (Result, bool) {
 	data, ok, err := e.cfg.Store.Get(e.cellKey(k))
 	if err != nil {
 		e.warnOnce("result store read failed, recomputing (%v)", err)
+		e.tel.CellStoreMiss()
 		return Result{}, false
 	}
 	if !ok {
+		e.tel.CellStoreMiss()
 		return Result{}, false
 	}
 	res, err := decodeResult(data)
 	if err != nil {
 		e.warnOnce("result store entry for %s/%v undecodable, recomputing (%v)", k.name, k.setup, err)
+		e.tel.CellStoreMiss()
 		return Result{}, false
 	}
 	return res, true
@@ -247,7 +315,7 @@ func (e *engine) warnOnce(format string, args ...any) {
 func encodeResult(res Result) ([]byte, error) { return json.Marshal(res) }
 
 // decodeResult is strict about shape: unknown fields mean the entry
-// predates a schema change that forgot to bump simVersionSalt, and the
+// predates a schema change that forgot to bump SimVersion, and the
 // safe response is a miss, not a partial fill.
 func decodeResult(data []byte) (Result, error) {
 	dec := json.NewDecoder(bytes.NewReader(data))

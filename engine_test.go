@@ -27,7 +27,7 @@ func TestEngineSingleflight(t *testing.T) {
 		wg.Add(1)
 		go func(i int) {
 			defer wg.Done()
-			res, err := e.do(context.Background(), key, func(context.Context) (Result, error) {
+			res, err := e.do(context.Background(), key, func(context.Context, func(uint64)) (Result, error) {
 				atomic.AddInt32(&calls, 1)
 				time.Sleep(20 * time.Millisecond) // widen the dedup window
 				return Result{Refs: 42}, nil
@@ -63,7 +63,7 @@ func TestEngineWorkerPoolBound(t *testing.T) {
 		wg.Add(1)
 		go func(i int) {
 			defer wg.Done()
-			e.do(context.Background(), runKey{name: "k", tlbEntries: i}, func(context.Context) (Result, error) {
+			e.do(context.Background(), runKey{name: "k", tlbEntries: i}, func(context.Context, func(uint64)) (Result, error) {
 				n := atomic.AddInt32(&running, 1)
 				for {
 					p := atomic.LoadInt32(&peak)
@@ -103,7 +103,7 @@ func TestEnginePanicContained(t *testing.T) {
 		wg.Add(1)
 		go func(i int) {
 			defer wg.Done()
-			_, errs[i] = e.do(ctx, bad, func(context.Context) (Result, error) {
+			_, errs[i] = e.do(ctx, bad, func(context.Context, func(uint64)) (Result, error) {
 				panic("kaboom")
 			})
 		}(i)
@@ -115,7 +115,7 @@ func TestEnginePanicContained(t *testing.T) {
 		wg.Add(1)
 		go func(i int) {
 			defer wg.Done()
-			res, err := e.do(ctx, runKey{name: "ok", tlbEntries: i}, func(context.Context) (Result, error) {
+			res, err := e.do(ctx, runKey{name: "ok", tlbEntries: i}, func(context.Context, func(uint64)) (Result, error) {
 				return Result{Refs: uint64(i)}, nil
 			})
 			if err != nil {
@@ -148,7 +148,7 @@ func TestEnginePanicContained(t *testing.T) {
 
 	// The error is memoized: a later caller gets it without re-running.
 	ran := false
-	_, err := e.do(ctx, bad, func(context.Context) (Result, error) { ran = true; return Result{}, nil })
+	_, err := e.do(ctx, bad, func(context.Context, func(uint64)) (Result, error) { ran = true; return Result{}, nil })
 	var cerr *CellError
 	if !errors.As(err, &cerr) || ran {
 		t.Errorf("memoized panic: err=%v reran=%v", err, ran)
@@ -166,7 +166,7 @@ func TestEnginePanicContained(t *testing.T) {
 			rw.Add(1)
 			go func(i int) {
 				defer rw.Done()
-				e.do(ctx, runKey{name: "post", tlbEntries: i}, func(context.Context) (Result, error) {
+				e.do(ctx, runKey{name: "post", tlbEntries: i}, func(context.Context, func(uint64)) (Result, error) {
 					arrive <- struct{}{}
 					<-release
 					return Result{}, nil
@@ -191,7 +191,7 @@ func TestEnginePanicContained(t *testing.T) {
 func TestEngineRetryBackoff(t *testing.T) {
 	e := newEngine(FigureConfig{Parallelism: 1, Retries: 2, RetryBackoff: time.Millisecond})
 	attempts := 0
-	res, err := e.do(context.Background(), runKey{name: "flaky"}, func(context.Context) (Result, error) {
+	res, err := e.do(context.Background(), runKey{name: "flaky"}, func(context.Context, func(uint64)) (Result, error) {
 		attempts++
 		if attempts < 3 {
 			return Result{}, errors.New("transient")
@@ -203,7 +203,7 @@ func TestEngineRetryBackoff(t *testing.T) {
 	}
 
 	panics := 0
-	_, err = e.do(context.Background(), runKey{name: "panicky"}, func(context.Context) (Result, error) {
+	_, err = e.do(context.Background(), runKey{name: "panicky"}, func(context.Context, func(uint64)) (Result, error) {
 		panics++
 		panic("deterministic")
 	})
@@ -215,7 +215,7 @@ func TestEngineRetryBackoff(t *testing.T) {
 	// Default configuration never retries.
 	e0 := newEngine(FigureConfig{Parallelism: 1})
 	tries := 0
-	_, err = e0.do(context.Background(), runKey{name: "once"}, func(context.Context) (Result, error) {
+	_, err = e0.do(context.Background(), runKey{name: "once"}, func(context.Context, func(uint64)) (Result, error) {
 		tries++
 		return Result{}, errors.New("nope")
 	})
@@ -228,7 +228,7 @@ func TestEngineRetryBackoff(t *testing.T) {
 // DeadlineExceeded instead of wedging the run.
 func TestEngineCellTimeout(t *testing.T) {
 	e := newEngine(FigureConfig{Parallelism: 1, CellTimeout: 10 * time.Millisecond})
-	_, err := e.do(context.Background(), runKey{name: "slow"}, func(ctx context.Context) (Result, error) {
+	_, err := e.do(context.Background(), runKey{name: "slow"}, func(ctx context.Context, _ func(uint64)) (Result, error) {
 		select {
 		case <-ctx.Done():
 			return Result{}, ctx.Err()

@@ -14,6 +14,7 @@ import (
 	"tps/internal/mmu"
 	"tps/internal/pagetable"
 	"tps/internal/store"
+	"tps/internal/telemetry"
 	"tps/internal/vmm"
 )
 
@@ -69,6 +70,14 @@ type FigureConfig struct {
 	// Warnf receives non-fatal robustness warnings (store degradation);
 	// the default writes one line to stderr.
 	Warnf func(format string, args ...any)
+
+	// Telemetry, when set, observes the run: per-cell lifecycle events,
+	// live metrics (cells done/total, refs/sec, per-worker state), and
+	// the material for an end-of-run manifest — see internal/telemetry
+	// and cmd/figures -events/-listen/-manifest. nil (the default) is
+	// fully disabled: the hot path is bit-identical and allocation-free,
+	// and rendered output is byte-identical in either mode.
+	Telemetry *telemetry.Recorder
 }
 
 func (c FigureConfig) withDefaults() FigureConfig {
@@ -135,10 +144,15 @@ func (r *Runner) ctxErr() error { return r.cfg.Context.Err() }
 
 // stream attaches the Runner's progress writer (if any) to a freshly
 // constructed table, announcing its title so the live view shows which
-// figure the subsequently streamed rows belong to.
+// figure the subsequently streamed rows belong to. With telemetry
+// attached, each streamed row also carries the live run status
+// (cells done/total, store hits, ETA); stdout is unaffected either way.
 func (r *Runner) stream(t *Table) {
 	if w := r.cfg.Progress; w != nil {
 		t.Stream = w
+		if rec := r.cfg.Telemetry; rec != nil {
+			t.StreamNote = rec.ProgressNote
+		}
 		fmt.Fprintf(w, "%s\n", t.Title)
 	}
 }
@@ -173,8 +187,9 @@ func (r *Runner) runOpts(w Workload, opts Options, frag bool) (Result, error) {
 	if frag {
 		opts.PreFragment = fragstate.PreFragment(fragstate.DefaultParams())
 	}
-	return r.eng.do(r.cfg.Context, key, func(ctx context.Context) (Result, error) {
+	return r.eng.do(r.cfg.Context, key, func(ctx context.Context, onRefs func(uint64)) (Result, error) {
 		opts.Context = ctx
+		opts.OnRefs = onRefs
 		res, err := Run(w, opts)
 		if err != nil {
 			return Result{}, fmt.Errorf("run %s/%v: %w", w.Name, opts.Setup, err)

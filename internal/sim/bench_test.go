@@ -10,6 +10,7 @@ package sim
 //	go test -run='^$' -bench=RefLoop -benchmem ./internal/sim
 
 import (
+	"sync/atomic"
 	"testing"
 
 	"tps/internal/addr"
@@ -106,4 +107,19 @@ func BenchmarkRefLoop(b *testing.B) {
 // (the Fig. 2/13/14 configuration), the most expensive per-ref path.
 func BenchmarkRefLoopCycleModel(b *testing.B) {
 	benchRefLoop(b, Options{Setup: SetupTHP, CycleModel: true})
+}
+
+// BenchmarkRefLoopTelemetry measures the enabled-telemetry overhead: the
+// same loop as BenchmarkRefLoop/TPS with the per-batch refs hook attached
+// (one atomic add per 512 references — the whole hot-path cost of live
+// metrics). Compare against BenchmarkRefLoop/TPS (and the archived
+// BENCH_*.json): both variants must sit within run-to-run noise.
+func BenchmarkRefLoopTelemetry(b *testing.B) {
+	var refs atomic.Uint64
+	b.Run("disabled", func(b *testing.B) {
+		benchRefLoop(b, Options{Setup: SetupTPS})
+	})
+	b.Run("enabled", func(b *testing.B) {
+		benchRefLoop(b, Options{Setup: SetupTPS, OnRefs: func(n uint64) { refs.Add(n) }})
+	})
 }

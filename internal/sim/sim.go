@@ -87,6 +87,15 @@ type Options struct {
 	// not perturb any modeled statistic.
 	Context context.Context
 
+	// OnRefs, when set, is the telemetry hook for live throughput: it
+	// receives the size of each delivered reference batch (one call per
+	// 512-reference flush, or per SMT scheduling round) — never one call
+	// per reference. The hook must be cheap and non-blocking (the engine
+	// passes a per-worker atomic add). nil costs one predictable branch
+	// per batch and nothing per reference; modeled statistics are
+	// identical either way.
+	OnRefs func(n uint64)
+
 	// OS knobs (TPS setups).
 	PromotionThreshold float64
 	Sizing             vmm.Sizing
@@ -389,6 +398,9 @@ func (m *machine) RefBatch(refs []trace.Ref) error {
 	if err := m.ctxErr(); err != nil {
 		return err
 	}
+	if m.opts.OnRefs != nil {
+		m.opts.OnRefs(uint64(len(refs)))
+	}
 	if m.opts.CompactEvery == 0 && m.caches == nil {
 		// Functional mode does nothing per reference beyond the
 		// translation itself, so drive the MMU straight from the slice.
@@ -654,12 +666,18 @@ func runSMT(w workload.Workload, m *machine, counter *trace.CountingSink, opts O
 	live := 2
 	alive := [2]bool{true, true}
 	mainAnnounced := 0
+	var batched uint64 // refs delivered this round, for the telemetry hook
 	for live > 0 {
 		// One cancellation poll per scheduling round (2 × quantum refs):
 		// a canceled SMT run aborts through the same quit-channel path as
-		// a failed one, joining both producers before returning.
+		// a failed one, joining both producers before returning. The
+		// telemetry hook fires at the same granularity.
 		if err := m.ctxErr(); err != nil {
 			return fail(err)
+		}
+		if opts.OnRefs != nil && batched > 0 {
+			opts.OnRefs(batched)
+			batched = 0
 		}
 		for i, t := range threads {
 			if !alive[i] {
@@ -679,6 +697,7 @@ func runSMT(w workload.Workload, m *machine, counter *trace.CountingSink, opts O
 					if r.Write {
 						counter.Writes++
 					}
+					batched++
 					if err := m.refAs(i, r); err != nil {
 						return fail(err)
 					}
@@ -701,6 +720,9 @@ func runSMT(w workload.Workload, m *machine, counter *trace.CountingSink, opts O
 				}
 			}
 		}
+	}
+	if opts.OnRefs != nil && batched > 0 {
+		opts.OnRefs(batched)
 	}
 	return join()
 }

@@ -64,6 +64,13 @@ const (
 type Store struct {
 	dir string
 
+	// OnQuarantine, when set, is invoked with the entry key after a
+	// corrupt entry is moved aside — the telemetry hook that makes
+	// quarantines visible in event streams and run summaries instead of
+	// only as files on disk. Set it before the store is shared across
+	// goroutines; it must not call back into the store.
+	OnQuarantine func(key string)
+
 	quarantined atomic.Int64
 
 	mu  sync.Mutex // serializes quarantine renames
@@ -154,6 +161,9 @@ func (s *Store) quarantine(key string) {
 		os.Remove(s.path(key))
 	}
 	s.quarantined.Add(1)
+	if s.OnQuarantine != nil {
+		s.OnQuarantine(key)
+	}
 }
 
 // Quarantined reports how many corrupt entries this process moved aside.

@@ -1,0 +1,60 @@
+package telemetry
+
+import (
+	"encoding/json"
+	"expvar"
+	"net/http"
+	"net/http/pprof"
+	"sync/atomic"
+)
+
+// current is the recorder the expvar "tps" variable reads: expvar names
+// are process-global and Publish panics on re-registration, so the
+// variable is published once and follows the most recent Handler call
+// (tests create many recorders; a process serves one run).
+var (
+	current   atomic.Pointer[Recorder]
+	published atomic.Bool
+)
+
+func publishExpvar() {
+	if published.CompareAndSwap(false, true) {
+		expvar.Publish("tps", expvar.Func(func() any { return current.Load().Snapshot() }))
+	}
+}
+
+// Handler serves the live view of a running sweep on its own mux, so
+// -listen never touches http.DefaultServeMux:
+//
+//	/metrics       JSON Snapshot (also published as expvar "tps")
+//	/debug/vars    standard expvar (memstats, cmdline, tps)
+//	/debug/pprof/  full pprof suite (profile, heap, goroutine, trace, ...)
+//
+// Every endpoint is read-only and safe to hammer while a sweep runs.
+func Handler(r *Recorder) http.Handler {
+	current.Store(r)
+	publishExpvar()
+
+	mux := http.NewServeMux()
+	mux.HandleFunc("/metrics", func(w http.ResponseWriter, req *http.Request) {
+		w.Header().Set("Content-Type", "application/json")
+		enc := json.NewEncoder(w)
+		enc.SetIndent("", "  ")
+		enc.Encode(r.Snapshot())
+	})
+	mux.Handle("/debug/vars", expvar.Handler())
+	mux.HandleFunc("/debug/pprof/", pprof.Index)
+	mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
+	mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
+	mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
+	mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
+	mux.HandleFunc("/", func(w http.ResponseWriter, req *http.Request) {
+		if req.URL.Path != "/" {
+			http.NotFound(w, req)
+			return
+		}
+		w.Header().Set("Content-Type", "text/plain; charset=utf-8")
+		w.Write([]byte("tps run telemetry\n  /metrics\n  /debug/vars\n  /debug/pprof/\n"))
+	})
+	return mux
+}

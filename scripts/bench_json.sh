@@ -18,7 +18,15 @@ tmp="$(mktemp)"
 trap 'rm -f "$raw" "$tmp"' EXIT
 go test -run='^$' -bench='RefLoop' -benchmem -count=1 ./internal/sim | tee "$raw" >&2
 
-awk -v date="$(date -u +%Y-%m-%dT%H:%M:%SZ)" '
+# Provenance: without the commit, toolchain, and GOMAXPROCS a BENCH_*.json
+# is uninterpretable six months later. "+dirty" marks uncommitted trees.
+commit="$(git rev-parse --short HEAD 2>/dev/null || echo unknown)"
+if ! git diff --quiet HEAD 2>/dev/null; then commit="$commit+dirty"; fi
+goversion="$(go version | sed 's/^go version //')"
+maxprocs="${GOMAXPROCS:-$(getconf _NPROCESSORS_ONLN)}"
+
+awk -v date="$(date -u +%Y-%m-%dT%H:%M:%SZ)" \
+    -v commit="$commit" -v goversion="$goversion" -v maxprocs="$maxprocs" '
 BEGIN {
     # Pre-fast-path ns/ref, measured at the PR 1 tree on the reference
     # machine (Xeon @ 2.70GHz, GOMAXPROCS=1) — the denominator for the
@@ -33,6 +41,8 @@ BEGIN {
 }
 /^BenchmarkRefLoop/ {
     name = $1
+    sub(/^BenchmarkRefLoopTelemetry\/disabled.*/, "TPS+telemetry-off", name)
+    sub(/^BenchmarkRefLoopTelemetry\/enabled.*/, "TPS+telemetry-on", name)
     sub(/^BenchmarkRefLoopCycleModel.*/, "THP+CycleModel", name)
     sub(/^BenchmarkRefLoop\//, "", name)
     sub(/-[0-9]+$/, "", name)  # strip GOMAXPROCS suffix if present
@@ -53,6 +63,9 @@ END {
     printf "{\n"
     printf "  \"benchmark\": \"BenchmarkRefLoop (go test -bench=RefLoop -benchmem ./internal/sim)\",\n"
     printf "  \"generated\": \"%s\",\n", date
+    printf "  \"commit\": \"%s\",\n", commit
+    printf "  \"go_version\": \"%s\",\n", goversion
+    printf "  \"gomaxprocs\": %s,\n", maxprocs
     printf "  \"results\": [\n"
     for (i = 1; i <= n; i++) printf "%s%s\n", rows[i], i < n ? "," : ""
     printf "  ]\n}\n"

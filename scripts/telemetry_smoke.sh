@@ -1,0 +1,89 @@
+#!/usr/bin/env bash
+# Telemetry smoke proof, end to end:
+#
+#  1. A figure run with -events and -manifest produces stdout that is
+#     byte-identical to the checked-in golden file (observability must
+#     never move a number), a JSONL stream in which every line validates
+#     against the event schema (via jq and via cmd/tpsreport, which
+#     strict-parses while rendering), and a manifest with exit status ok.
+#  2. A run with -listen serves a jq-consistent /metrics snapshot and a
+#     pprof profile mid-run, and when SIGINTed exits 130 and still writes
+#     the manifest — with exit status "interrupted".
+#
+#   scripts/telemetry_smoke.sh
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+refs=20000
+suite=gcc,leela
+workdir="$(mktemp -d)"
+trap 'rm -rf "$workdir"' EXIT
+
+go build -o "$workdir/figures" ./cmd/figures
+go build -o "$workdir/tpsreport" ./cmd/tpsreport
+
+# --- 1. Events + manifest on a clean run; stdout still golden. ----------
+
+"$workdir/figures" -fig 10 -refs "$refs" -suite "$suite" -progress=false \
+    -events "$workdir/run.jsonl" -manifest "$workdir/manifest.json" \
+    > "$workdir/out" 2>"$workdir/err"
+
+# The command prints Render() via Println, so stdout is golden + "\n".
+{ cat testdata/fig10_refs20000_seed42.golden; echo; } | cmp - "$workdir/out"
+
+# Every JSONL line parses and carries the schema's required fields.
+jq -es 'length > 0 and all(.t_ns >= 0 and .event != "" and .cell != "" and has("worker"))' \
+    < "$workdir/run.jsonl" > /dev/null
+# Every cell finishes exactly once, with a counter snapshot.
+jq -es 'map(select(.event == "finished")) | length > 0 and all(.counters.refs > 0)' \
+    < "$workdir/run.jsonl" > /dev/null
+echo "events: $(wc -l < "$workdir/run.jsonl") lines, all schema-valid" >&2
+
+# The manifest recorded the run it belongs to, and a clean exit.
+jq -e --argjson refs "$refs" \
+    '.exit.status == "ok" and .exit.code == 0 and .config.refs == $refs
+     and .version != "" and .go_version != "" and (.cells | length) > 0
+     and all(.cells[]; .status == "ok")' \
+    "$workdir/manifest.json" > /dev/null
+echo "manifest: $(jq '.cells | length' "$workdir/manifest.json") cells, exit ok" >&2
+
+# tpsreport strict-parses the stream and renders the accounting.
+"$workdir/tpsreport" "$workdir/run.jsonl" > "$workdir/report"
+grep -q "cells settled" "$workdir/report"
+grep -q "Slowest" "$workdir/report"
+
+# --- 2. Live endpoint mid-run; SIGINT still writes the manifest. --------
+
+# -all is long enough that the poll below always lands mid-run; the
+# SIGINT ends it as soon as the endpoint has been proven.
+"$workdir/figures" -all -refs "$refs" -suite "$suite" -progress=false \
+    -listen 127.0.0.1:0 -manifest "$workdir/manifest2.json" \
+    > "$workdir/out2" 2>"$workdir/err2" &
+pid=$!
+
+addr=""
+for _ in $(seq 1 100); do
+    addr="$(sed -n 's#.*serving metrics on http://\([^/]*\)/metrics.*#\1#p' "$workdir/err2")"
+    [ -n "$addr" ] && break
+    kill -0 "$pid" 2>/dev/null || { cat "$workdir/err2" >&2; exit 1; }
+    sleep 0.1
+done
+[ -n "$addr" ] || { echo "figures never announced -listen address" >&2; exit 1; }
+
+# /metrics is valid JSON and internally consistent.
+curl -fsS "http://$addr/metrics" > "$workdir/snap.json"
+jq -e '.cells_done + .cells_failed <= .cells_queued and (.workers | length) > 0' \
+    "$workdir/snap.json" > /dev/null
+echo "metrics: $(jq -c '{queued: .cells_queued, done: .cells_done}' "$workdir/snap.json") at $addr" >&2
+
+# pprof serves a profile while the sweep runs.
+curl -fsS "http://$addr/debug/pprof/goroutine" > "$workdir/goroutine.pb.gz"
+[ -s "$workdir/goroutine.pb.gz" ]
+
+kill -INT "$pid"
+rc=0; wait "$pid" || rc=$?
+[ "$rc" -eq 130 ] || { echo "SIGINT exit code $rc, want 130" >&2; exit 1; }
+
+jq -e '.exit.status == "interrupted" and .exit.code == 130' \
+    "$workdir/manifest2.json" > /dev/null
+echo "telemetry smoke: golden intact, events valid, endpoint live, manifest survives SIGINT" >&2

@@ -23,13 +23,24 @@ type Table struct {
 	// table still prints once every cell has landed (alignment needs all
 	// rows' widths), so streaming never changes the canonical output.
 	Stream io.Writer
+	// StreamNote, when set alongside Stream, is evaluated per streamed
+	// row and appended in brackets — the Runner wires it to the telemetry
+	// recorder's live status (cells done/total, store hits, ETA). It
+	// never touches Render output.
+	StreamNote func() string
 }
 
 // AddRow appends a row of cells, flushing it to Stream when streaming.
 func (t *Table) AddRow(cells ...string) {
 	t.Rows = append(t.Rows, cells)
 	if t.Stream != nil {
-		fmt.Fprintf(t.Stream, "  %s\n", strings.Join(cells, "\t"))
+		line := "  " + strings.Join(cells, "\t")
+		if t.StreamNote != nil {
+			if note := t.StreamNote(); note != "" {
+				line += "   [" + note + "]"
+			}
+		}
+		fmt.Fprintln(t.Stream, line)
 	}
 }
 
