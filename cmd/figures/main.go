@@ -13,6 +13,8 @@
 //	figures -all                 # every table and figure
 //	figures -fig 10              # one figure
 //	figures -ablations           # the design-choice ablations
+//	figures -schemes all         # one grid comparing every registered scheme
+//	figures -schemes tps,svnapot,thp -suite gups,mcf   # a focused grid
 //	figures -refs 2000000        # deeper runs
 //	figures -all -parallel 8     # cap the worker pool at 8 simulations
 //	figures -fig 13 -cpuprofile cpu.pb.gz   # profile the hot loop
@@ -77,6 +79,7 @@ func run() (code int) {
 		memprofile = flag.String("memprofile", "", "write a heap profile to this file on exit")
 		tracefile  = flag.String("trace", "", "write a runtime execution trace to this file")
 		suite      = flag.String("suite", "", "comma-separated workload subset (default: the full evaluation suite)")
+		schemes    = flag.String("schemes", "", "comma-separated scheme names, or \"all\": render one comparison grid of the named schemes across the workload suite")
 		storeDir   = flag.String("store", "", "persist each settled cell to this directory (content-addressed, checksummed)")
 		resume     = flag.Bool("resume", false, "with -store: replay already-settled cells instead of recomputing them")
 		cellTO     = flag.Duration("cell-timeout", 0, "per-cell deadline (0 = none); an overrunning cell fails its figure, not the process")
@@ -172,6 +175,21 @@ func run() (code int) {
 			cfg.Suite = append(cfg.Suite, w)
 		}
 	}
+	// Scheme names resolve against the registry up front: an unknown name
+	// is a usage error listing the registered vocabulary, never a silent
+	// fall-through to a default scheme.
+	var gridSetups []tps.Setup
+	if *schemes != "" {
+		names := tps.SchemeNames()
+		if !strings.EqualFold(*schemes, "all") {
+			names = strings.Split(*schemes, ",")
+		}
+		var err error
+		if gridSetups, err = tps.SchemesByName(names); err != nil {
+			fmt.Fprintf(os.Stderr, "figures: %v\n", err)
+			return 2
+		}
+	}
 	if *resume && *storeDir == "" {
 		fmt.Fprintln(os.Stderr, "figures: -resume requires -store DIR")
 		return 2
@@ -211,6 +229,8 @@ func run() (code int) {
 		target = "-ablations"
 	case *fig != 0:
 		target = fmt.Sprintf("-fig %d", *fig)
+	case *schemes != "":
+		target = "-schemes " + *schemes
 	}
 
 	// The manifest is written on every exit path — clean, failed, or
@@ -285,8 +305,17 @@ func run() (code int) {
 				return fail(runErr)
 			}
 		}
+		if gridSetups != nil {
+			if runErr = render(func() (*tps.Table, error) { return r.SchemeGrid(gridSetups) }); runErr != nil {
+				return fail(runErr)
+			}
+		}
 	case *ablations:
 		if runErr = runAblations(r); runErr != nil {
+			return fail(runErr)
+		}
+	case gridSetups != nil:
+		if runErr = render(func() (*tps.Table, error) { return r.SchemeGrid(gridSetups) }); runErr != nil {
 			return fail(runErr)
 		}
 	case *fig != 0:

@@ -28,7 +28,8 @@ import (
 type cell struct {
 	key      string
 	workload string
-	setup    string
+	setup    string // display label
+	scheme   string // stable registry name
 	status   string // finished / failed / store-hit / "" (still running at EOF)
 	dur      time.Duration
 	worker   int
@@ -76,6 +77,9 @@ func run() int {
 		}
 		if ev.Workload != "" {
 			c.workload, c.setup = ev.Workload, ev.Setup
+		}
+		if ev.Scheme != "" {
+			c.scheme = ev.Scheme
 		}
 		return c
 	}
@@ -167,7 +171,7 @@ func run() int {
 	}
 	tbl := &tps.Table{
 		Title:  title,
-		Header: []string{"workload", "setup", "status", "wall", "worker", "refs", "cell"},
+		Header: []string{"workload", "scheme", "status", "wall", "worker", "refs", "cell"},
 	}
 	for _, c := range settled[:n] {
 		status := c.status
@@ -178,7 +182,13 @@ func run() int {
 		if c.refs > 0 {
 			refs = fmt.Sprintf("%d", c.refs)
 		}
-		tbl.AddRow(c.workload, c.setup, status,
+		// Prefer the stable scheme name; events from pre-scheme files
+		// only carry the display label.
+		scheme := c.scheme
+		if scheme == "" {
+			scheme = c.setup
+		}
+		tbl.AddRow(c.workload, scheme, status,
 			c.dur.Round(time.Millisecond).String(),
 			fmt.Sprintf("%d", c.worker), refs, c.key[:12])
 	}

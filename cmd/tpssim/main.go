@@ -24,7 +24,7 @@ import (
 func main() {
 	var (
 		name      = flag.String("workload", "gups", "benchmark name (see -list)")
-		setupName = flag.String("setup", "tps", "mechanism: 4k, thp, tps, tps-eager, colt, rmm, 2m-only")
+		setupName = flag.String("setup", "tps", "translation scheme by registry name (see error output for the list); legacy aliases 4k/base/eager/2m accepted")
 		refs      = flag.Uint64("refs", 1<<20, "measured references")
 		seed      = flag.Int64("seed", 42, "generator seed")
 		memGB     = flag.Uint64("mem", 16, "physical memory in GB")
@@ -56,7 +56,8 @@ func main() {
 	}
 	setup, ok := parseSetup(*setupName)
 	if !ok {
-		fmt.Fprintf(os.Stderr, "unknown setup %q\n", *setupName)
+		fmt.Fprintf(os.Stderr, "unknown scheme %q (registered: %s)\n",
+			*setupName, strings.Join(tps.SchemeNames(), ", "))
 		os.Exit(1)
 	}
 
@@ -82,24 +83,18 @@ func main() {
 	report(res)
 }
 
+// parseSetup resolves a scheme by its registry name, keeping the historic
+// command-line aliases as a thin pre-translation layer.
 func parseSetup(s string) (tps.Setup, bool) {
-	switch strings.ToLower(s) {
-	case "4k", "base", "base4k":
-		return tps.SetupBase4K, true
-	case "thp":
-		return tps.SetupTHP, true
-	case "tps":
-		return tps.SetupTPS, true
-	case "tps-eager", "eager":
-		return tps.SetupTPSEager, true
-	case "colt":
-		return tps.SetupCoLT, true
-	case "rmm":
-		return tps.SetupRMM, true
-	case "2m-only", "2m":
-		return tps.Setup2MOnly, true
+	switch strings.ToLower(strings.TrimSpace(s)) {
+	case "4k", "base":
+		s = "base4k"
+	case "eager":
+		s = "tps-eager"
+	case "2m":
+		s = "2m-only"
 	}
-	return 0, false
+	return tps.SetupByName(s)
 }
 
 func report(res tps.Result) {

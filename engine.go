@@ -70,9 +70,12 @@ func (e *CellError) Error() string {
 
 // SimVersion fingerprints the simulator revision into every store key
 // and into run manifests. Bump it whenever a change intentionally alters
-// modeled statistics, so stale persisted cells miss (and recompute)
-// instead of resurrecting old numbers into new runs.
-const SimVersion = "tps-sim-v1"
+// modeled statistics or the key schema, so stale persisted cells miss
+// (and recompute) instead of resurrecting old numbers into new runs.
+// v2: cells are keyed by stable scheme name instead of Setup ordinal
+// (ordinal keys silently remapped across enum edits), and Result gained
+// the Scheme field.
+const SimVersion = "tps-sim-v2"
 
 // newEngine sizes the worker pool; cfg.Parallelism <= 0 means GOMAXPROCS.
 // cfg must already carry its defaults (NewRunner applies them).
@@ -102,7 +105,12 @@ type runFunc func(ctx context.Context, onRefs func(uint64)) (Result, error)
 // cellInfo labels a cell for telemetry. Only called with telemetry on:
 // the content address costs a SHA-256 of the fingerprint.
 func (e *engine) cellInfo(k runKey) telemetry.CellInfo {
-	return telemetry.CellInfo{Key: e.cellKey(k), Workload: k.name, Setup: k.setup.String()}
+	return telemetry.CellInfo{
+		Key:      e.cellKey(k),
+		Workload: k.name,
+		Setup:    k.setup.String(),
+		Scheme:   k.setup.SchemeName(),
+	}
 }
 
 // do returns the cached or in-flight result for key, or executes fn under
@@ -246,10 +254,13 @@ func (e *engine) attempt(ctx context.Context, key runKey, fn runFunc, onRefs fun
 // plus the Runner-wide knobs (refs, seed, memory) and the simulator
 // version salt — as the stable string the store key hashes. Two cells
 // share a fingerprint exactly when their Results must be identical.
+// The setup is identified by its stable scheme-registry name, never its
+// enum ordinal: ordinals shift when the Setup list is reordered or grows
+// mid-list, which would silently remap persisted results across schemes.
 func (e *engine) fingerprint(k runKey) string {
-	return fmt.Sprintf("%s|refs=%d|seed=%d|mem=%d|w=%s|setup=%d|smt=%t|virt=%t|frag=%t|cyc=%t|thr=%g|sizing=%d|alias=%d|cfail=%t|lvl=%d|tlbe=%d|skew=%t|ce=%d",
+	return fmt.Sprintf("%s|refs=%d|seed=%d|mem=%d|w=%s|scheme=%s|smt=%t|virt=%t|frag=%t|cyc=%t|thr=%g|sizing=%d|alias=%d|cfail=%t|lvl=%d|tlbe=%d|skew=%t|ce=%d",
 		SimVersion, e.cfg.Refs, e.cfg.Seed, e.cfg.MemoryPages,
-		k.name, k.setup, k.smt, k.virt, k.frag, k.cyc,
+		k.name, k.setup.SchemeName(), k.smt, k.virt, k.frag, k.cyc,
 		k.threshold, k.sizing, k.alias, k.compactFail,
 		k.levels, k.tlbEntries, k.skewed, k.compactEvery)
 }

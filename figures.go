@@ -6,6 +6,7 @@ import (
 	"io"
 	"os"
 	"sort"
+	"strings"
 	"time"
 
 	"tps/internal/addr"
@@ -196,6 +197,66 @@ func (r *Runner) runOpts(w Workload, opts Options, frag bool) (Result, error) {
 		}
 		return res, nil
 	})
+}
+
+// SchemesByName resolves scheme-registry names to Setups, failing on the
+// first unknown name with the registered vocabulary in the error — the
+// CLIs surface it verbatim, so a typo never falls through to a default.
+func SchemesByName(names []string) ([]Setup, error) {
+	out := make([]Setup, 0, len(names))
+	for _, n := range names {
+		s, ok := SetupByName(n)
+		if !ok {
+			return nil, fmt.Errorf("unknown scheme %q (registered: %s)",
+				n, strings.Join(SchemeNames(), ", "))
+		}
+		out = append(out, s)
+	}
+	return out, nil
+}
+
+// SchemeGrid runs every given scheme against every suite workload and
+// renders one comparison grid. Each cell is "L1MPKI/walkKI": L1 DTLB
+// misses and page-walk memory references, both per thousand instructions —
+// the two axes the paper's Figs. 10 and 11 compare mechanisms on, here
+// side by side for an arbitrary scheme set (including registered backends
+// the paper predates, like svnapot).
+func (r *Runner) SchemeGrid(setups []Setup) (*Table, error) {
+	t := &Table{
+		Title:  "Scheme Comparison Grid: L1 DTLB MPKI / Page-Walk Memory References per 1k Instructions",
+		Header: []string{"benchmark"},
+		Notes:  []string{"cell format: L1MPKI/walkKI (lower is better for both)"},
+	}
+	for _, s := range setups {
+		t.Header = append(t.Header, s.String())
+	}
+	r.stream(t)
+	if err := r.ctxErr(); err != nil {
+		return nil, err
+	}
+	r.warmSuite(r.cfg.Suite, setups)
+	sums := make([][2]float64, len(setups))
+	for _, w := range r.cfg.Suite {
+		row := []string{w.Name}
+		for i, s := range setups {
+			res, err := r.run(w, s, runFlags{})
+			if err != nil {
+				return nil, err
+			}
+			walkKI := safeDiv(float64(res.WalkMemRefs), float64(res.Instructions)/1000)
+			sums[i][0] += res.L1MPKI
+			sums[i][1] += walkKI
+			row = append(row, f2(res.L1MPKI)+"/"+f2(walkKI))
+		}
+		t.AddRow(row...)
+	}
+	n := float64(len(r.cfg.Suite))
+	avg := []string{"average"}
+	for i := range setups {
+		avg = append(avg, f2(sums[i][0]/n)+"/"+f2(sums[i][1]/n))
+	}
+	t.AddRow(avg...)
+	return t, nil
 }
 
 // elim returns the eliminated fraction, clamped at zero as in the paper

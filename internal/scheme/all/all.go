@@ -1,0 +1,17 @@
+// Package all populates the scheme registry with every built-in backend.
+// Import it for side effects wherever schemes must be resolvable by name
+// (internal/sim does; so does any test exercising the registry).
+//
+// A new backend package only needs a blank import here to join the CLIs,
+// the figure grids, and the conformance suite.
+package all
+
+import (
+	_ "tps/internal/scheme/base4k"
+	_ "tps/internal/scheme/colt"
+	_ "tps/internal/scheme/only2m"
+	_ "tps/internal/scheme/rmm"
+	_ "tps/internal/scheme/svnapot"
+	_ "tps/internal/scheme/thp"
+	_ "tps/internal/scheme/tps"
+)

@@ -1,0 +1,35 @@
+// Package colt registers CoLT-SA: coalescing hardware layered over the THP
+// baseline OS. The page table is the THP system's (4 KB + 2 MB pages); a
+// coalescer inspects PTE runs at L1 fill time and installs one TLB entry
+// spanning up to 2^MaxClusterOrder contiguous 4 KB pages.
+package colt
+
+import (
+	"tps/internal/addr"
+	coltcore "tps/internal/colt"
+	"tps/internal/mmu"
+	"tps/internal/scheme"
+	"tps/internal/vmm"
+)
+
+type coltSA struct{ scheme.Base }
+
+func (coltSA) Name() string  { return "colt" }
+func (coltSA) Label() string { return "CoLT" }
+func (coltSA) Description() string {
+	return "CoLT-SA coalesced TLB fills over the THP baseline OS"
+}
+
+func (coltSA) Policy() vmm.Policy             { return vmm.PolicyTHP }
+func (coltSA) Organization() mmu.Organization { return mmu.OrgCoLT }
+
+// Orders is the THP mapping domain: coalescing changes TLB entries, not
+// what the page table maps.
+func (coltSA) Orders() []addr.Order { return []addr.Order{0, addr.Order2M} }
+
+func (coltSA) Attach(k *vmm.Kernel) scheme.Attachment {
+	c := coltcore.New(k.Table(), coltcore.MaxClusterOrder)
+	return scheme.Attachment{Fill: c.FillPolicy(), Coalescer: c}
+}
+
+func init() { scheme.Register(coltSA{}) }

@@ -1,0 +1,26 @@
+// Package only2m registers the exclusive-2MB configuration of the Fig. 9
+// footprint study: every region is mapped eagerly with 2 MB pages and
+// nothing else, the upper bound on both TLB reach and internal
+// fragmentation among fixed-granule schemes.
+package only2m
+
+import (
+	"tps/internal/addr"
+	"tps/internal/mmu"
+	"tps/internal/scheme"
+	"tps/internal/vmm"
+)
+
+type only2M struct{ scheme.Base }
+
+func (only2M) Name() string  { return "2m-only" }
+func (only2M) Label() string { return "2M-only" }
+func (only2M) Description() string {
+	return "eager paging with 2 MB pages exclusively (Fig. 9 study)"
+}
+
+func (only2M) Policy() vmm.Policy             { return vmm.Policy2MOnly }
+func (only2M) Organization() mmu.Organization { return mmu.OrgConventional }
+func (only2M) Orders() []addr.Order           { return []addr.Order{addr.Order2M} }
+
+func init() { scheme.Register(only2M{}) }

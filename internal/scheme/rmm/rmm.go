@@ -1,0 +1,34 @@
+// Package rmm registers Redundant Memory Mappings: eager 4 KB paging with
+// one range-table entry per mapping and a Range TLB probed in parallel with
+// the STLB (the sidecar). Page-table contents stay 4 KB-only; the ranges
+// are the redundant translation path.
+package rmm
+
+import (
+	"tps/internal/addr"
+	"tps/internal/mmu"
+	rmmcore "tps/internal/rmm"
+	"tps/internal/scheme"
+	"tps/internal/vmm"
+)
+
+type rmmScheme struct{ scheme.Base }
+
+func (rmmScheme) Name() string  { return "rmm" }
+func (rmmScheme) Label() string { return "RMM" }
+func (rmmScheme) Description() string {
+	return "Redundant Memory Mappings: eager ranges + Range TLB sidecar"
+}
+
+func (rmmScheme) Policy() vmm.Policy             { return vmm.PolicyRMMEager }
+func (rmmScheme) Organization() mmu.Organization { return mmu.OrgConventional }
+func (rmmScheme) Orders() []addr.Order           { return []addr.Order{0} }
+
+func (rmmScheme) Attach(k *vmm.Kernel) scheme.Attachment {
+	ranges := rmmcore.NewRangeTable()
+	rtlb := rmmcore.NewRangeTLB(ranges, 32)
+	k.AttachRanger(ranges)
+	return scheme.Attachment{Sidecar: rtlb, RangeTLB: rtlb}
+}
+
+func init() { scheme.Register(rmmScheme{}) }

@@ -1,0 +1,46 @@
+// Package svnapot registers the RISC-V Svnapot ablation of TPS: the same
+// NAPOT PTE encoding, TPS TLB, and reservation-based promotion machinery,
+// but with promotion restricted to the fixed granule set the ratified
+// RISC-V extension defines — the 64 KiB NAPOT granule plus the page sizes
+// Sv48 already has (4 KiB base, 2 MiB megapages, 1 GiB gigapages) — instead
+// of TPS's any power of two. Comparing "svnapot" against "tps" on the same
+// workload isolates how much of TPS's benefit comes specifically from the
+// *any-size* property rather than from NAPOT encoding per se.
+package svnapot
+
+import (
+	"tps/internal/addr"
+	"tps/internal/mmu"
+	"tps/internal/scheme"
+	"tps/internal/vmm"
+)
+
+// granules is the fixed RISC-V page-order set: 4 KiB (order 0), the 64 KiB
+// NAPOT granule (order 4), 2 MiB (order 9), 1 GiB (order 18).
+var granules = []addr.Order{0, 4, addr.Order2M, addr.Order1G}
+
+type svnapot struct{ scheme.Base }
+
+func (svnapot) Name() string  { return "svnapot" }
+func (svnapot) Label() string { return "Svnapot" }
+func (svnapot) Description() string {
+	return "NAPOT restricted to the RISC-V granule set (4K/64K/2M/1G)"
+}
+
+func (svnapot) Policy() vmm.Policy             { return vmm.PolicyTPS }
+func (svnapot) Organization() mmu.Organization { return mmu.OrgTPS }
+
+func (svnapot) Orders() []addr.Order {
+	out := make([]addr.Order, len(granules))
+	copy(out, granules)
+	return out
+}
+
+// TuneKernel restricts the promotion cascade (and buddy-merge growth) to
+// the fixed granule set; reservation sizing is untouched, so the OS still
+// reserves tailored extents and simply promotes more coarsely within them.
+func (svnapot) TuneKernel(cfg *vmm.Config) {
+	cfg.PromotionGranules = append([]addr.Order(nil), granules...)
+}
+
+func init() { scheme.Register(svnapot{}) }

@@ -1,0 +1,26 @@
+// Package thp registers reservation-based Transparent Huge Pages, the
+// paper's primary comparison baseline: regions reserve 2 MB blocks and a
+// region promotes to one 2 MB page once its reservation passes the
+// utilization threshold. No intermediate sizes exist.
+package thp
+
+import (
+	"tps/internal/addr"
+	"tps/internal/mmu"
+	"tps/internal/scheme"
+	"tps/internal/vmm"
+)
+
+type thp struct{ scheme.Base }
+
+func (thp) Name() string  { return "thp" }
+func (thp) Label() string { return "THP" }
+func (thp) Description() string {
+	return "reservation-based Transparent Huge Pages (4 KB + 2 MB)"
+}
+
+func (thp) Policy() vmm.Policy             { return vmm.PolicyTHP }
+func (thp) Organization() mmu.Organization { return mmu.OrgConventional }
+func (thp) Orders() []addr.Order           { return []addr.Order{0, addr.Order2M} }
+
+func init() { scheme.Register(thp{}) }

@@ -1,0 +1,51 @@
+// Package tps registers the paper's mechanism — Tailored Page Sizes, any
+// power-of-two page ≥ 4 KB via NAPOT PTEs and the any-size TPS TLB — in
+// both of its paging variants: reservation-based demand paging ("tps") and
+// eager paging ("tps-eager", §III-B2).
+package tps
+
+import (
+	"tps/internal/addr"
+	"tps/internal/mmu"
+	"tps/internal/scheme"
+	"tps/internal/vmm"
+)
+
+type tps struct {
+	scheme.Base
+	name   string
+	label  string
+	desc   string
+	policy vmm.Policy
+}
+
+func (s tps) Name() string        { return s.name }
+func (s tps) Label() string       { return s.label }
+func (s tps) Description() string { return s.desc }
+
+func (s tps) Policy() vmm.Policy           { return s.policy }
+func (tps) Organization() mmu.Organization { return mmu.OrgTPS }
+
+// Orders is the full any-power-of-two domain: the point of the mechanism.
+func (tps) Orders() []addr.Order {
+	out := make([]addr.Order, addr.MaxOrder+1)
+	for i := range out {
+		out[i] = addr.Order(i)
+	}
+	return out
+}
+
+func init() {
+	scheme.Register(tps{
+		name:   "tps",
+		label:  "TPS",
+		desc:   "Tailored Page Sizes, reservation-based demand paging",
+		policy: vmm.PolicyTPS,
+	})
+	scheme.Register(tps{
+		name:   "tps-eager",
+		label:  "TPS-eager",
+		desc:   "Tailored Page Sizes, eager paging (full mapping at mmap)",
+		policy: vmm.PolicyTPSEager,
+	})
+}

@@ -13,62 +13,20 @@ import (
 	"sync/atomic"
 	"testing"
 
-	"tps/internal/addr"
 	"tps/internal/trace"
 )
 
-// benchFootprint is sized to exceed the 4K L1 TLB reach (256 KB) and the
-// 4K STLB reach (6 MB) so every setup exercises its full hierarchy, while
-// staying cheap to fault in.
-const benchFootprint = 64 << 20 // 64 MB
-
-// benchPattern synthesizes a deterministic steady-state access stream over
-// [base, base+bytes): sequential runs (TLB-friendly) interleaved with
-// LCG-scattered jumps (TLB-stressing), roughly the texture of the chase
-// and stream generators without their generation cost.
-func benchPattern(base addr.Virt, bytes uint64, n int) []trace.Ref {
-	refs := make([]trace.Ref, n)
-	words := bytes / 8
-	state := uint64(12345)
-	var seq uint64
-	for i := range refs {
-		var off uint64
-		if i%4 == 3 {
-			// Scattered jump (LCG-driven).
-			state = state*6364136223846793005 + 1442695040888963407
-			off = (state >> 11) % words * 8
-			seq = off
-		} else {
-			seq = (seq + 64) % bytes
-			off = seq
-		}
-		refs[i] = trace.Ref{
-			Addr:  base + addr.Virt(off),
-			Write: i%8 == 0,
-			Gap:   4,
-		}
-	}
-	return refs
-}
-
 // benchMachine assembles a machine for the options and faults in a region
-// so the timed loop measures steady state (no faults, no promotions).
+// so the timed loop measures steady state (no faults, no promotions). The
+// footprint, pattern, and fault-in loop live in conformance.go
+// (newSteadyMachine), shared with the scheme conformance suite.
 func benchMachine(tb testing.TB, opts Options) (*machine, []trace.Ref) {
 	tb.Helper()
-	if opts.MemoryPages == 0 {
-		opts.MemoryPages = 1 << 20
-	}
-	m := newMachine(opts)
-	base, err := m.Mmap(benchFootprint)
+	m, pat, err := newSteadyMachine(opts)
 	if err != nil {
 		tb.Fatal(err)
 	}
-	for off := uint64(0); off < benchFootprint; off += addr.BasePageSize {
-		if err := m.Ref(trace.Ref{Addr: base + addr.Virt(off), Write: true, Gap: 256}); err != nil {
-			tb.Fatal(err)
-		}
-	}
-	return m, benchPattern(base, benchFootprint, 1<<15)
+	return m, pat
 }
 
 // benchRefLoop delivers the pattern through RefBatch in Batcher-sized

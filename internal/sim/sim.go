@@ -10,6 +10,7 @@ import (
 	"context"
 	"errors"
 	"fmt"
+	"strings"
 
 	"tps/internal/addr"
 	"tps/internal/buddy"
@@ -19,6 +20,8 @@ import (
 	"tps/internal/mmu"
 	"tps/internal/pagetable"
 	"tps/internal/rmm"
+	"tps/internal/scheme"
+	_ "tps/internal/scheme/all" // populate the registry with the built-in backends
 	"tps/internal/trace"
 	"tps/internal/vmm"
 	"tps/internal/workload"
@@ -43,31 +46,89 @@ const (
 	SetupRMM
 	// Setup2MOnly: every mapping uses 2 MB pages exclusively (Fig. 9).
 	Setup2MOnly
+	// SetupSvnapot: TPS hardware with promotion restricted to the fixed
+	// RISC-V Svnapot granule set (4K/64K/2M/1G) — the any-size ablation.
+	SetupSvnapot
 )
 
-// String names the setup as it appears in the paper's figures.
-func (s Setup) String() string {
-	switch s {
-	case SetupTHP:
-		return "THP"
-	case SetupTPS:
-		return "TPS"
-	case SetupTPSEager:
-		return "TPS-eager"
-	case SetupCoLT:
-		return "CoLT"
-	case SetupRMM:
-		return "RMM"
-	case Setup2MOnly:
-		return "2M-only"
-	default:
-		return "4K"
+// setupNames maps each Setup ordinal to its stable scheme-registry name.
+// This is the only place an ordinal and a name meet: everything persistent
+// (store fingerprints, telemetry, BENCH output) uses the name, so the enum
+// may be reordered or extended without aliasing stored results.
+var setupNames = [...]string{
+	SetupBase4K:   "base4k",
+	SetupTHP:      "thp",
+	SetupTPS:      "tps",
+	SetupTPSEager: "tps-eager",
+	SetupCoLT:     "colt",
+	SetupRMM:      "rmm",
+	Setup2MOnly:   "2m-only",
+	SetupSvnapot:  "svnapot",
+}
+
+// SchemeName returns the setup's stable scheme-registry name, or
+// "invalid(N)" for an out-of-range value (never a masqueraded default).
+func (s Setup) SchemeName() string {
+	if s >= 0 && int(s) < len(setupNames) {
+		return setupNames[s]
 	}
+	return fmt.Sprintf("invalid(%d)", int(s))
+}
+
+// scheme resolves the setup's backend from the registry.
+func (s Setup) scheme() (scheme.Scheme, error) {
+	if sch, ok := scheme.Lookup(s.SchemeName()); ok {
+		return sch, nil
+	}
+	return nil, fmt.Errorf("sim: setup %d is not a registered scheme (have %s)",
+		int(s), strings.Join(scheme.Names(), ", "))
+}
+
+// String names the setup as it appears in the paper's figures. An
+// unregistered value prints as Setup(N) — explicitly, rather than
+// masquerading as the 4K baseline in error messages and table headers.
+func (s Setup) String() string {
+	if sch, err := s.scheme(); err == nil {
+		return sch.Label()
+	}
+	return fmt.Sprintf("Setup(%d)", int(s))
+}
+
+// SetupByName resolves a scheme-registry name (case-insensitive) to its
+// Setup. It reports false for names not in the registry.
+func SetupByName(name string) (Setup, bool) {
+	name = strings.ToLower(strings.TrimSpace(name))
+	for s, n := range setupNames {
+		if n == name {
+			_, err := Setup(s).scheme()
+			return Setup(s), err == nil
+		}
+	}
+	return 0, false
+}
+
+// SetupNames returns the registered scheme names, sorted — the vocabulary
+// SetupByName accepts, for CLI listings and error messages.
+func SetupNames() []string { return scheme.Names() }
+
+// Setups returns every registered setup in enum order.
+func Setups() []Setup {
+	out := make([]Setup, 0, len(setupNames))
+	for s := range setupNames {
+		if _, err := Setup(s).scheme(); err == nil {
+			out = append(out, Setup(s))
+		}
+	}
+	return out
 }
 
 // Options parameterizes one run.
 type Options struct {
 	Setup Setup
+	// Scheme, when non-empty, selects the translation scheme by its stable
+	// registry name ("tps", "svnapot", ...) and overrides Setup. Run
+	// rejects names that are not registered.
+	Scheme string
 	// Refs is the approximate reference count to simulate.
 	Refs uint64
 	// Seed drives the workload generator.
@@ -126,6 +187,9 @@ type Options struct {
 type Result struct {
 	Workload string
 	Setup    Setup
+	// Scheme is the stable registry name of the setup that ran — the
+	// identity persisted results and telemetry are keyed by.
+	Scheme string
 
 	Refs         uint64
 	Instructions uint64
@@ -188,7 +252,6 @@ func (r Result) TL1DTLBM() uint64 {
 type proc struct {
 	kernel *vmm.Kernel
 	mmu    *mmu.MMU
-	ranges *rmm.RangeTable
 	rtlb   *rmm.RangeTLB
 	coal   *colt.Coalescer
 
@@ -295,8 +358,14 @@ func addMMU(a, b mmu.Stats) mmu.Stats {
 	return a
 }
 
-// newMachine assembles the system for the options.
+// newMachine assembles the system for the options. The setup must resolve
+// in the scheme registry; sim.Run validates this before calling (internal
+// callers pass known-good setups, so resolution failure here is a bug).
 func newMachine(opts Options) *machine {
+	sch, err := opts.Setup.scheme()
+	if err != nil {
+		panic(err)
+	}
 	if opts.MemoryPages == 0 {
 		opts.MemoryPages = 1 << 21 // 8 GB
 	}
@@ -305,29 +374,10 @@ func newMachine(opts Options) *machine {
 		opts.PreFragment(bud)
 	}
 
-	var policy vmm.Policy
-	var org mmu.Organization
-	switch opts.Setup {
-	case SetupTHP:
-		policy, org = vmm.PolicyTHP, mmu.OrgConventional
-	case SetupTPS:
-		policy, org = vmm.PolicyTPS, mmu.OrgTPS
-	case SetupTPSEager:
-		policy, org = vmm.PolicyTPSEager, mmu.OrgTPS
-	case SetupCoLT:
-		// CoLT is pure hardware added over the baseline OS: coalescing
-		// applies to the THP system's unpromoted 4K runs and to its
-		// physically contiguous 2M pages.
-		policy, org = vmm.PolicyTHP, mmu.OrgCoLT
-	case SetupRMM:
-		policy, org = vmm.PolicyRMMEager, mmu.OrgConventional
-	case Setup2MOnly:
-		policy, org = vmm.Policy2MOnly, mmu.OrgConventional
-	default:
-		policy, org = vmm.PolicyBase4K, mmu.OrgConventional
-	}
-
-	kcfg := vmm.DefaultConfig(policy)
+	// Scheme tuning sits between policy defaults and the per-run knobs:
+	// a scheme shapes its kernel, a user override still wins.
+	kcfg := vmm.DefaultConfig(sch.Policy())
+	sch.TuneKernel(&kcfg)
 	if opts.PromotionThreshold > 0 {
 		kcfg.PromotionThreshold = opts.PromotionThreshold
 	}
@@ -338,7 +388,7 @@ func newMachine(opts Options) *machine {
 		kcfg.Levels = opts.Levels
 	}
 
-	mcfg := mmu.DefaultConfig(org)
+	mcfg := mmu.DefaultConfig(sch.Organization())
 	mcfg.Levels = kcfg.Levels
 	mcfg.Virtualized = opts.Virtualized
 	if opts.TPSTLBEntries > 0 {
@@ -356,19 +406,9 @@ func newMachine(opts Options) *machine {
 	}
 	for i := 0; i < nProcs; i++ {
 		p := &proc{kernel: vmm.New(kcfg, bud)}
-		var sidecar mmu.Sidecar
-		var fill mmu.FillPolicy
-		if opts.Setup == SetupRMM {
-			p.ranges = rmm.NewRangeTable()
-			p.rtlb = rmm.NewRangeTLB(p.ranges, 32)
-			p.kernel.AttachRanger(p.ranges)
-			sidecar = p.rtlb
-		}
-		if opts.Setup == SetupCoLT {
-			p.coal = colt.New(p.kernel.Table(), colt.MaxClusterOrder)
-			fill = p.coal.FillPolicy()
-		}
-		p.mmu = mmu.NewThread(m.hw, p.kernel.Table(), uint16(i), sidecar, fill)
+		att := sch.Attach(p.kernel)
+		p.rtlb, p.coal = att.RangeTLB, att.Coalescer
+		p.mmu = mmu.NewThread(m.hw, p.kernel.Table(), uint16(i), att.Sidecar, att.Fill)
 		p.kernel.AttachMMU(p.mmu)
 		m.procs = append(m.procs, p)
 	}
@@ -505,7 +545,21 @@ func walkRefAddr(v addr.Virt, level int) addr.Phys {
 }
 
 // Run executes one workload under the options and collects the result.
+// The translation scheme may be selected either by Options.Setup or by
+// registry name via Options.Scheme (which wins when set); an unregistered
+// setup or unknown name is a validation error, not a silent baseline run.
 func Run(w workload.Workload, opts Options) (Result, error) {
+	if opts.Scheme != "" {
+		s, ok := SetupByName(opts.Scheme)
+		if !ok {
+			return Result{}, fmt.Errorf("sim: unknown scheme %q (have %s)",
+				opts.Scheme, strings.Join(scheme.Names(), ", "))
+		}
+		opts.Setup = s
+	}
+	if _, err := opts.Setup.scheme(); err != nil {
+		return Result{}, err
+	}
 	if opts.Refs == 0 {
 		opts.Refs = 1 << 20
 	}
@@ -540,6 +594,7 @@ func (m *machine) collect(w workload.Workload, c *trace.CountingSink) Result {
 	r := Result{
 		Workload:     w.Name,
 		Setup:        m.opts.Setup,
+		Scheme:       m.opts.Setup.SchemeName(),
 		Refs:         c.Refs,
 		Instructions: c.Instructions,
 		Census:       make(map[addr.Order]uint64),

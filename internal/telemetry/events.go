@@ -53,7 +53,8 @@ type Event struct {
 	Event    string    `json:"event"`
 	Cell     string    `json:"cell"`
 	Workload string    `json:"workload,omitempty"`
-	Setup    string    `json:"setup,omitempty"`
+	Setup    string    `json:"setup,omitempty"`  // display label
+	Scheme   string    `json:"scheme,omitempty"` // stable registry name
 	Worker   int       `json:"worker"`
 	Attempt  int       `json:"attempt,omitempty"`  // retried only
 	DurNS    int64     `json:"dur_ns,omitempty"`   // finished/failed

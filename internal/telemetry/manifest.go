@@ -23,7 +23,8 @@ const (
 type CellRecord struct {
 	Cell     string  `json:"cell"`
 	Workload string  `json:"workload"`
-	Setup    string  `json:"setup"`
+	Setup    string  `json:"setup"`            // display label
+	Scheme   string  `json:"scheme,omitempty"` // stable registry name
 	Status   string  `json:"status"`
 	WallS    float64 `json:"wall_s"`
 	Refs     uint64  `json:"refs,omitempty"`

@@ -22,13 +22,14 @@ import (
 
 // CellInfo identifies one simulation cell across events and manifest
 // records: the content address its result has in the store (a hex
-// SHA-256 of the full cell fingerprint) plus the human-readable
-// workload/setup pair. Ablation variants share workload/setup labels but
-// never keys.
+// SHA-256 of the full cell fingerprint), the human-readable
+// workload/setup pair, and the stable scheme-registry name the cell is
+// keyed by. Ablation variants share workload/setup labels but never keys.
 type CellInfo struct {
 	Key      string
 	Workload string
-	Setup    string
+	Setup    string // display label ("TPS")
+	Scheme   string // stable registry name ("tps")
 }
 
 func (ci CellInfo) label() string { return ci.Workload + "/" + ci.Setup }
@@ -124,7 +125,7 @@ func (r *Recorder) CellQueued(ci CellInfo) {
 		return
 	}
 	r.cellsQueued.Add(1)
-	r.emit(Event{Event: EventQueued, Cell: ci.Key, Workload: ci.Workload, Setup: ci.Setup, Worker: -1})
+	r.emit(Event{Event: EventQueued, Cell: ci.Key, Workload: ci.Workload, Setup: ci.Setup, Scheme: ci.Scheme, Worker: -1})
 }
 
 // CellDedupJoined records a caller attaching to an existing flight
@@ -134,7 +135,7 @@ func (r *Recorder) CellDedupJoined(ci CellInfo) {
 		return
 	}
 	r.dedupJoined.Add(1)
-	r.emit(Event{Event: EventDedupJoined, Cell: ci.Key, Workload: ci.Workload, Setup: ci.Setup, Worker: -1})
+	r.emit(Event{Event: EventDedupJoined, Cell: ci.Key, Workload: ci.Workload, Setup: ci.Setup, Scheme: ci.Scheme, Worker: -1})
 }
 
 // CellStoreHit records a cell settled by replaying a persisted result.
@@ -144,8 +145,8 @@ func (r *Recorder) CellStoreHit(ci CellInfo, slot int) {
 	}
 	r.storeHits.Add(1)
 	r.cellsDone.Add(1)
-	r.emit(Event{Event: EventStoreHit, Cell: ci.Key, Workload: ci.Workload, Setup: ci.Setup, Worker: slot})
-	r.recordCell(CellRecord{Cell: ci.Key, Workload: ci.Workload, Setup: ci.Setup, Status: StatusStoreHit})
+	r.emit(Event{Event: EventStoreHit, Cell: ci.Key, Workload: ci.Workload, Setup: ci.Setup, Scheme: ci.Scheme, Worker: slot})
+	r.recordCell(CellRecord{Cell: ci.Key, Workload: ci.Workload, Setup: ci.Setup, Scheme: ci.Scheme, Status: StatusStoreHit})
 }
 
 // CellStoreMiss counts a store consultation that found nothing (the cell
@@ -169,7 +170,7 @@ func (r *Recorder) CellStarted(ci CellInfo, slot int) {
 		w.since = time.Now()
 		w.mu.Unlock()
 	}
-	r.emit(Event{Event: EventStarted, Cell: ci.Key, Workload: ci.Workload, Setup: ci.Setup, Worker: slot})
+	r.emit(Event{Event: EventStarted, Cell: ci.Key, Workload: ci.Workload, Setup: ci.Setup, Scheme: ci.Scheme, Worker: slot})
 }
 
 // CellRetried records one backoff re-run of a transiently failing cell.
@@ -178,7 +179,7 @@ func (r *Recorder) CellRetried(ci CellInfo, slot, attempt int) {
 		return
 	}
 	r.retries.Add(1)
-	r.emit(Event{Event: EventRetried, Cell: ci.Key, Workload: ci.Workload, Setup: ci.Setup, Worker: slot, Attempt: attempt})
+	r.emit(Event{Event: EventRetried, Cell: ci.Key, Workload: ci.Workload, Setup: ci.Setup, Scheme: ci.Scheme, Worker: slot, Attempt: attempt})
 }
 
 // CellFinished settles a computed cell: frees its worker slot, folds its
@@ -191,9 +192,9 @@ func (r *Recorder) CellFinished(ci CellInfo, slot int, d time.Duration, c Counte
 	r.clearWorker(slot)
 	r.cellsDone.Add(1)
 	r.observeDuration(d)
-	r.emit(Event{Event: EventFinished, Cell: ci.Key, Workload: ci.Workload, Setup: ci.Setup,
+	r.emit(Event{Event: EventFinished, Cell: ci.Key, Workload: ci.Workload, Setup: ci.Setup, Scheme: ci.Scheme,
 		Worker: slot, DurNS: d.Nanoseconds(), Counters: &c})
-	r.recordCell(CellRecord{Cell: ci.Key, Workload: ci.Workload, Setup: ci.Setup,
+	r.recordCell(CellRecord{Cell: ci.Key, Workload: ci.Workload, Setup: ci.Setup, Scheme: ci.Scheme,
 		Status: StatusOK, WallS: d.Seconds(), Refs: c.Refs})
 }
 
@@ -205,9 +206,9 @@ func (r *Recorder) CellFailed(ci CellInfo, slot int, d time.Duration, err error)
 	r.clearWorker(slot)
 	r.cellsFailed.Add(1)
 	r.observeDuration(d)
-	r.emit(Event{Event: EventFailed, Cell: ci.Key, Workload: ci.Workload, Setup: ci.Setup,
+	r.emit(Event{Event: EventFailed, Cell: ci.Key, Workload: ci.Workload, Setup: ci.Setup, Scheme: ci.Scheme,
 		Worker: slot, DurNS: d.Nanoseconds(), Error: err.Error()})
-	r.recordCell(CellRecord{Cell: ci.Key, Workload: ci.Workload, Setup: ci.Setup,
+	r.recordCell(CellRecord{Cell: ci.Key, Workload: ci.Workload, Setup: ci.Setup, Scheme: ci.Scheme,
 		Status: StatusFailed, WallS: d.Seconds(), Error: err.Error()})
 }
 

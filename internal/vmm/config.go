@@ -116,6 +116,13 @@ type Config struct {
 	// MaxTailoredOrder caps the tailored page size (default 1 GB).
 	MaxTailoredOrder addr.Order
 
+	// PromotionGranules, when non-nil, restricts the page orders the
+	// promotion cascade and buddy merging may produce to the listed set
+	// (fixed-granule schemes such as RISC-V Svnapot). nil allows every
+	// order up to MaxTailoredOrder. Order 0 is implicitly always allowed:
+	// demand faults map base pages regardless of the set.
+	PromotionGranules []addr.Order
+
 	// AliasStrategy selects extra-lookup or full-copy alias maintenance.
 	AliasStrategy pagetable.AliasStrategy
 

@@ -69,6 +69,12 @@ type Kernel struct {
 	vmas   []*vma // sorted by start
 	nextVA addr.Virt
 
+	// granules is the bitmask of page orders promotion/merging may
+	// produce; anyGranule short-circuits it when no restriction applies
+	// (cfg.PromotionGranules nil).
+	granules   uint32
+	anyGranule bool
+
 	stats Stats
 }
 
@@ -94,7 +100,18 @@ func New(cfg Config, bud *buddy.Allocator) *Kernel {
 		table:  pagetable.New(cfg.Levels, cfg.AliasStrategy),
 		nextVA: cfg.VABase,
 	}
+	k.anyGranule = cfg.PromotionGranules == nil
+	for _, o := range cfg.PromotionGranules {
+		k.granules |= 1 << uint(o)
+	}
+	k.granules |= 1 // base pages are always mappable
 	return k
+}
+
+// orderAllowed reports whether the configured granule set permits pages of
+// order o.
+func (k *Kernel) orderAllowed(o addr.Order) bool {
+	return k.anyGranule || k.granules&(1<<uint(o)) != 0
 }
 
 // AttachMMU binds the hardware MMU (for shootdowns). The MMU must have
@@ -514,6 +531,9 @@ func (k *Kernel) promotionOrders(r *reservation) []addr.Order {
 	case PolicyTPS:
 		var out []addr.Order
 		for o := addr.Order(1); o <= r.order && o <= k.cfg.MaxTailoredOrder; o++ {
+			if !k.orderAllowed(o) {
+				continue // fixed-granule schemes skip intermediate sizes
+			}
 			out = append(out, o)
 		}
 		return out
@@ -772,7 +792,7 @@ func (k *Kernel) MergePages() {
 				sort.Slice(starts, func(i, j int) bool { return starts[i] < starts[j] })
 				for _, vpn := range starts {
 					o, ok := r.mapped[vpn]
-					if !ok || o >= maxOrder {
+					if !ok || o >= maxOrder || !k.orderAllowed(o+1) {
 						continue
 					}
 					if !vpn.Aligned(o + 1) {

@@ -38,6 +38,18 @@ BEGIN {
     base["CoLT"] = 129.4
     base["RMM"] = 77.02
     base["THP+CycleModel"] = 227.8
+
+    # Display label -> stable scheme-registry name. Rows are recorded
+    # under both: the label for humans, the registry name for anything
+    # joining bench rows against store keys, telemetry, or figure output.
+    reg["4K"] = "base4k"
+    reg["THP"] = "thp"
+    reg["TPS"] = "tps"
+    reg["TPS-eager"] = "tps-eager"
+    reg["CoLT"] = "colt"
+    reg["RMM"] = "rmm"
+    reg["2M-only"] = "2m-only"
+    reg["Svnapot"] = "svnapot"
 }
 /^BenchmarkRefLoop/ {
     name = $1
@@ -56,7 +68,10 @@ BEGIN {
         if (name in base) {
             extra = sprintf(", \"baseline_ns_per_ref\": %s, \"speedup\": %.2f", base[name], base[name] / ns)
         }
-        rows[++n] = sprintf("    {\"setup\": \"%s\", \"ns_per_ref\": %s, \"allocs_per_ref\": %s%s}", name, ns, allocs == "" ? "null" : allocs, extra)
+        baselabel = name
+        sub(/\+.*/, "", baselabel)  # "TPS+telemetry-on" benches the tps scheme
+        scheme = (baselabel in reg) ? reg[baselabel] : "unknown"
+        rows[++n] = sprintf("    {\"setup\": \"%s\", \"scheme\": \"%s\", \"ns_per_ref\": %s, \"allocs_per_ref\": %s%s}", name, scheme, ns, allocs == "" ? "null" : allocs, extra)
     }
 }
 END {

@@ -30,7 +30,10 @@ type Setup = sim.Setup
 // The available mechanisms: the 4 KB-only baseline, reservation-based
 // Transparent Huge Pages (the paper's comparison baseline), Tailored Page
 // Sizes under reservation or eager paging, the CoLT and RMM related-work
-// baselines, and the exclusive-2MB configuration of the Fig. 9 study.
+// baselines, the exclusive-2MB configuration of the Fig. 9 study, and the
+// RISC-V Svnapot fixed-granule ablation. Each is backed by a registered
+// translation scheme (internal/scheme); SetupByName resolves the stable
+// registry names.
 const (
 	SetupBase4K   = sim.SetupBase4K
 	SetupTHP      = sim.SetupTHP
@@ -39,7 +42,19 @@ const (
 	SetupCoLT     = sim.SetupCoLT
 	SetupRMM      = sim.SetupRMM
 	Setup2MOnly   = sim.Setup2MOnly
+	SetupSvnapot  = sim.SetupSvnapot
 )
+
+// SetupByName resolves a scheme-registry name ("tps", "svnapot", ...) to
+// its Setup, reporting false for unregistered names.
+func SetupByName(name string) (Setup, bool) { return sim.SetupByName(name) }
+
+// SchemeNames returns the registered translation-scheme names, sorted —
+// the vocabulary SetupByName accepts.
+func SchemeNames() []string { return sim.SetupNames() }
+
+// Setups returns every registered setup in enum order.
+func Setups() []Setup { return sim.Setups() }
 
 // Options parameterizes a single simulation run.
 type Options = sim.Options
