@@ -74,6 +74,7 @@ func run() (code int) {
 		refs       = flag.Uint64("refs", 1<<20, "measured references per run")
 		seed       = flag.Int64("seed", 42, "workload generator seed")
 		parallel   = flag.Int("parallel", 0, "max concurrent simulations (0 = GOMAXPROCS, 1 = serial)")
+		shards     = flag.Int("shards", 1, "intra-cell sharding: split each functional cell's reference stream across N goroutines (deterministic; >1 deviates from serial statistics)")
 		progress   = flag.Bool("progress", true, "stream per-row progress to stderr as cells finish")
 		cpuprofile = flag.String("cpuprofile", "", "write a CPU profile to this file")
 		memprofile = flag.String("memprofile", "", "write a heap profile to this file on exit")
@@ -158,7 +159,7 @@ func run() (code int) {
 	}
 
 	cfg := tps.FigureConfig{
-		Refs: *refs, Seed: *seed, Parallelism: *parallel,
+		Refs: *refs, Seed: *seed, Parallelism: *parallel, Shards: *shards,
 		Context: ctx, CellTimeout: *cellTO, Retries: *retries,
 		Telemetry: rec,
 	}
@@ -252,6 +253,9 @@ func run() (code int) {
 				Retries:      *retries,
 				StoreDir:     *storeDir,
 				Resume:       *resume,
+			}
+			if *shards > 1 {
+				m.Config.Shards = *shards
 			}
 			for _, w := range cfg.Suite {
 				m.Config.Suite = append(m.Config.Suite, w.Name)

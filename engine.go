@@ -258,11 +258,19 @@ func (e *engine) attempt(ctx context.Context, key runKey, fn runFunc, onRefs fun
 // enum ordinal: ordinals shift when the Setup list is reordered or grows
 // mid-list, which would silently remap persisted results across schemes.
 func (e *engine) fingerprint(k runKey) string {
-	return fmt.Sprintf("%s|refs=%d|seed=%d|mem=%d|w=%s|scheme=%s|smt=%t|virt=%t|frag=%t|cyc=%t|thr=%g|sizing=%d|alias=%d|cfail=%t|lvl=%d|tlbe=%d|skew=%t|ce=%d",
+	fp := fmt.Sprintf("%s|refs=%d|seed=%d|mem=%d|w=%s|scheme=%s|smt=%t|virt=%t|frag=%t|cyc=%t|thr=%g|sizing=%d|alias=%d|cfail=%t|lvl=%d|tlbe=%d|skew=%t|ce=%d",
 		SimVersion, e.cfg.Refs, e.cfg.Seed, e.cfg.MemoryPages,
 		k.name, k.setup.SchemeName(), k.smt, k.virt, k.frag, k.cyc,
 		k.threshold, k.sizing, k.alias, k.compactFail,
 		k.levels, k.tlbEntries, k.skewed, k.compactEvery)
+	// Sharded statistics deviate (deterministically) from serial ones, so
+	// sharded cells get their own fingerprint. Cycle-model and SMT cells
+	// ignore the knob (sim runs them serial); their keys stay unchanged so
+	// stores written by serial runs keep hitting.
+	if e.cfg.Shards > 1 && !k.cyc && !k.smt {
+		fp += fmt.Sprintf("|shards=%d", e.cfg.Shards)
+	}
+	return fp
 }
 
 // cellKey is the cell's content address in the result store.

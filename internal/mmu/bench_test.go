@@ -85,3 +85,48 @@ func BenchmarkTranslateWalk(b *testing.B) {
 	// the ExtraLookup cost the paper's Fig. 6 models.
 	b.Run("tps-tailored-16K", func(b *testing.B) { benchTranslate(b, OrgTPS, 2, 2048) })
 }
+
+// BenchmarkTranslateHot is the historical single-page hot loop (every
+// reference lands in one mapped 1 MB tailored page): the absolute floor
+// of the Translate fast path, kept for cross-commit continuity.
+func BenchmarkTranslateHot(b *testing.B) {
+	pt := pagetable.New(addr.Levels4, pagetable.ExtraLookup)
+	m := New(DefaultConfig(OrgTPS), pt, nil, nil)
+	pt.Map(0x40000000, 1<<18, 8, 0)
+	m.Translate(0x40000000, false)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		m.Translate(0x40000000+addr.Virt(i&0xfffff), false)
+	}
+}
+
+// BenchmarkTranslateCacheHit isolates the software translation cache's
+// serve path against the same loop with the cache disabled — the
+// comparison that prices the front-line cache itself. The working set (16
+// pages) fits the L1 TLB in both variants, so the delta is purely
+// serve-versus-modeled-L1.
+func BenchmarkTranslateCacheHit(b *testing.B) {
+	run := func(transCache int) func(b *testing.B) {
+		return func(b *testing.B) {
+			table := benchTable(b, benchBase, 0, 16)
+			cfg := DefaultConfig(OrgTPS)
+			cfg.TransCache = transCache
+			m := New(cfg, table, nil, nil)
+			for i := 0; i < 16; i++ {
+				if _, err := m.Translate(benchBase+addr.Virt(i*addr.BasePageSize), false); err != nil {
+					b.Fatal(err)
+				}
+			}
+			b.ReportAllocs()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				v := benchBase + addr.Virt((i%16)*addr.BasePageSize)
+				if _, err := m.Translate(v, false); err != nil {
+					b.Fatal(err)
+				}
+			}
+		}
+	}
+	b.Run("enabled", run(0))
+	b.Run("disabled", run(-1))
+}

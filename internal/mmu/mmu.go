@@ -72,6 +72,13 @@ type Config struct {
 	// Levels is the page-table depth (4 or 5).
 	Levels int
 
+	// TransCache sizes the software translation cache in front of the
+	// modeled hierarchy (see transcache.go): 0 selects the default size,
+	// a negative value disables it, a positive value is rounded up to a
+	// power of two. Purely a simulator fast path — every reported stat is
+	// bit-identical at any setting.
+	TransCache int
+
 	// Virtualized enables two-dimensional nested walk accounting: each
 	// guest page-table reference expands to hostLevels+1 references and
 	// the final guest PA costs hostLevels more (Fig. 2's third case).
@@ -158,6 +165,11 @@ type Hardware struct {
 	stlb1g *tlb.SetAssoc
 
 	pwc [5]*PWCache // index = level (1..levels-1 populated)
+
+	// tc is the software translation cache (nil when disabled or when the
+	// organization has no cacheable L1 structure). Shared like the TLBs:
+	// its tags are ASID-folded, so SMT siblings coexist.
+	tc *transCache
 }
 
 // NewHardware builds the TLB and PWC structures for a configuration.
@@ -218,6 +230,16 @@ func NewHardware(cfg Config) *Hardware {
 		if cfg.Levels == addr.Levels5 {
 			h.pwc[4] = NewPWCache(4, cfg.PWCPML4)
 		}
+	}
+
+	// CoLT's multi-size L1s have no cacheable provenance (a tag compare
+	// alone cannot identify a cluster), so the cache would never fill.
+	if cfg.TransCache >= 0 && cfg.Org != OrgCoLT {
+		n := cfg.TransCache
+		if n == 0 {
+			n = defaultTransCacheEntries
+		}
+		h.tc = newTransCache(n)
 	}
 	return h
 }
@@ -310,20 +332,37 @@ type Result struct {
 }
 
 // Translate performs the full translation flow for a data access. The
-// steady-state paths (L1 hit, STLB hit) build the Result in a single local
-// mutated in place and allocate nothing.
+// steady-state paths (translation-cache serve, L1 hit, STLB hit) build
+// the Result in a single local mutated in place and allocate nothing.
 func (m *MMU) Translate(v addr.Virt, write bool) (Result, error) {
-	m.stats.Accesses++
-	vpn := v.PageNumber()
+	tvpn := m.tagVPN(v.PageNumber())
 
-	tvpn := m.tagVPN(vpn)
+	// Front line: the software translation cache replays the full flow's
+	// exact stat effects for verified repeat hits (transcache.go).
+	if m.hw.tc != nil {
+		if e := m.serveTC(tvpn, write); e != nil {
+			return Result{
+				Phys:  e.pfn.Addr() + addr.Phys(v.Offset(0)),
+				Order: addr.Order(e.order),
+				L1Hit: true,
+			}, nil
+		}
+	}
+	return m.translateMissed(v, tvpn, write)
+}
+
+// translateMissed is the Translate flow past the translation cache (tvpn
+// already computed, serve already missed or disabled).
+func (m *MMU) translateMissed(v addr.Virt, tvpn addr.VPN, write bool) (Result, error) {
+	vpn := untagVPN(tvpn)
 	var r Result
+	m.stats.Accesses++
 
 	// L1: the split structures are probed in parallel in hardware.
-	if e, hit := m.lookupL1(tvpn); hit {
+	if e, prov, way, hit := m.lookupL1(tvpn); hit {
 		m.stats.L1Hits++
 		r.L1Hit = true
-		err := m.finish(v, tvpn, e, &r, write)
+		err := m.fillAfterFinish(v, tvpn, e, &r, write, prov, way)
 		return r, err
 	}
 	m.stats.L1Misses++
@@ -339,9 +378,9 @@ func (m *MMU) Translate(v addr.Virt, write bool) (Result, error) {
 				VPN: untagVPN(e.VPN), PFN: e.PFN, Order: e.Order, Flags: e.Flags,
 			}))
 		}
-		m.installL1(e)
+		prov, way := m.installL1(e)
 		r.STLBHit = true
-		err := m.finish(v, tvpn, e, &r, write)
+		err := m.fillAfterFinish(v, tvpn, e, &r, write, prov, way)
 		return r, err
 	}
 	m.stats.STLBMisses++
@@ -349,9 +388,9 @@ func (m *MMU) Translate(v addr.Virt, write bool) (Result, error) {
 		if e, hit := m.sidecar.Lookup(vpn); hit {
 			m.stats.SidecarHits++
 			e = m.tagEntry(e)
-			m.installL1(e)
+			prov, way := m.installL1(e)
 			r.Sidecar = true
-			err := m.finish(v, tvpn, e, &r, write)
+			err := m.fillAfterFinish(v, tvpn, e, &r, write, prov, way)
 			return r, err
 		}
 	}
@@ -381,11 +420,41 @@ func (m *MMU) Translate(v addr.Virt, write bool) (Result, error) {
 	identity := m.tagEntry(tlb.Entry{VPN: res.VPN, PFN: res.PFN, Order: res.Order, Flags: res.Flags})
 	m.installSTLB(identity)
 	entry := m.tagEntry(m.entryFor(res))
-	m.installL1(entry)
+	prov, way := m.installL1(entry)
 	r.Walked = true
 	r.WalkRefs = refs
-	err = m.finish(v, tvpn, entry, &r, write)
+	err = m.fillAfterFinish(v, tvpn, entry, &r, write, prov, way)
 	return r, err
+}
+
+// fillAfterFinish completes the translation and reconciles the software
+// translation cache: a success records the entry's provenance, a failure
+// drops the line — the L1 state just installed may no longer match what
+// the line remembers, so it must not be served until refilled.
+func (m *MMU) fillAfterFinish(v addr.Virt, tvpn addr.VPN, e tlb.Entry, r *Result, write bool, prov uint8, way int) error {
+	err := m.finish(v, tvpn, e, r, write)
+	if m.hw.tc != nil {
+		if err == nil {
+			m.fillTC(tvpn, e, prov, way)
+		} else {
+			m.hw.tc.drop(tvpn)
+		}
+	}
+	return err
+}
+
+// Access is Translate for callers that need only success or failure — the
+// functional simulation loop, which discards the Result of every
+// successful translation. On a translation-cache serve it skips Result
+// assembly entirely; otherwise it runs the identical full flow. All stats
+// are bit-identical to Translate's.
+func (m *MMU) Access(v addr.Virt, write bool) error {
+	tvpn := m.tagVPN(v.PageNumber())
+	if m.hw.tc != nil && m.serveTC(tvpn, write) != nil {
+		return nil
+	}
+	_, err := m.translateMissed(v, tvpn, write)
+	return err
 }
 
 // ErrWriteProtected reports a store to a read-only mapping (the
@@ -424,20 +493,37 @@ func (m *MMU) finish(v addr.Virt, tvpn addr.VPN, e tlb.Entry, r *Result, write b
 	return nil
 }
 
-func (m *MMU) lookupL1(vpn addr.VPN) (tlb.Entry, bool) {
-	if e, hit := m.hw.l14k.Lookup(vpn); hit {
-		return e, true
+// lookupL1 probes the L1 structures, reporting which structure and way
+// satisfied a hit so the translation cache can remember its provenance.
+// Structures whose hits a tag compare cannot re-verify (CoLT's multi-size
+// L1s, the skewed TPS TLB) report provNone.
+func (m *MMU) lookupL1(vpn addr.VPN) (tlb.Entry, uint8, int, bool) {
+	if m.cfg.Org == OrgCoLT {
+		if e, hit := m.hw.l14k.Lookup(vpn); hit {
+			return e, provNone, -1, true
+		}
+		if e, hit := m.hw.l12m.Lookup(vpn); hit {
+			return e, provNone, -1, true
+		}
+		e, hit := m.hw.l11g.Lookup(vpn)
+		return e, provNone, -1, hit
+	}
+	if e, w, hit := m.hw.l14k.LookupWay(vpn); hit {
+		return e, provL14K, w, true
 	}
 	if m.cfg.Org == OrgTPS {
 		if fa := m.hw.tpsFA; fa != nil {
-			return fa.Lookup(vpn)
+			e, w, hit := fa.LookupWay(vpn)
+			return e, provTPS, w, hit
 		}
-		return m.hw.tpsL1.Lookup(vpn)
+		e, hit := m.hw.tpsL1.Lookup(vpn)
+		return e, provNone, -1, hit
 	}
-	if e, hit := m.hw.l12m.Lookup(vpn); hit {
-		return e, true
+	if e, w, hit := m.hw.l12m.LookupWay(vpn); hit {
+		return e, provL12M, w, true
 	}
-	return m.hw.l11g.Lookup(vpn)
+	e, w, hit := m.hw.l11g.LookupWay(vpn)
+	return e, provL11G, w, hit
 }
 
 func (m *MMU) lookupSTLB(vpn addr.VPN) (tlb.Entry, bool) {
@@ -447,15 +533,20 @@ func (m *MMU) lookupSTLB(vpn addr.VPN) (tlb.Entry, bool) {
 	return m.hw.stlb1g.Lookup(vpn)
 }
 
-// installL1 routes an entry to the correct L1 structure.
-func (m *MMU) installL1(e tlb.Entry) {
+// installL1 routes an entry to the correct L1 structure, reporting where
+// it landed (provenance + way) for the translation cache. Structures the
+// cache cannot re-verify report provNone.
+func (m *MMU) installL1(e tlb.Entry) (uint8, int) {
 	switch m.cfg.Org {
 	case OrgTPS:
 		if e.Order == 0 {
-			m.hw.l14k.Insert(e)
-		} else {
-			m.hw.tpsL1.Insert(e)
+			return provL14K, m.hw.l14k.InsertWay(e)
 		}
+		if fa := m.hw.tpsFA; fa != nil {
+			return provTPS, fa.InsertWay(e)
+		}
+		m.hw.tpsL1.Insert(e)
+		return provNone, -1
 	case OrgCoLT:
 		switch {
 		case e.Order <= 3:
@@ -465,14 +556,15 @@ func (m *MMU) installL1(e tlb.Entry) {
 		default:
 			m.hw.l11g.Insert(e)
 		}
+		return provNone, -1
 	default:
 		switch e.Order {
 		case 0:
-			m.hw.l14k.Insert(e)
+			return provL14K, m.hw.l14k.InsertWay(e)
 		case addr.Order2M:
-			m.hw.l12m.Insert(e)
+			return provL12M, m.hw.l12m.InsertWay(e)
 		default:
-			m.hw.l11g.Insert(e)
+			return provL11G, m.hw.l11g.InsertWay(e)
 		}
 	}
 }
@@ -547,6 +639,9 @@ func (m *MMU) fillPWC(v addr.Virt, res pagetable.WalkResult) {
 // vpn in this MMU's address space (the INVLPG flow, §III-C2).
 func (m *MMU) ShootdownPage(vpn addr.VPN) {
 	vpn = m.tagVPN(vpn)
+	if m.hw.tc != nil {
+		m.hw.tc.invalidateRange(vpn, vpn+1)
+	}
 	m.hw.l14k.InvalidatePage(vpn)
 	if m.cfg.Org == OrgTPS {
 		m.hw.tpsL1.InvalidatePage(vpn)
@@ -569,6 +664,9 @@ func (m *MMU) ShootdownPage(vpn addr.VPN) {
 // range [start, end) in this MMU's address space.
 func (m *MMU) ShootdownRange(start, end addr.VPN) {
 	start, end = m.tagVPN(start), m.tagVPN(end)
+	if m.hw.tc != nil {
+		m.hw.tc.invalidateRange(start, end)
+	}
 	m.hw.l14k.InvalidateRange(start, end)
 	if m.cfg.Org == OrgTPS {
 		m.hw.tpsL1.InvalidateRange(start, end)
@@ -588,6 +686,9 @@ func (m *MMU) ShootdownRange(start, end addr.VPN) {
 // FlushAll drops all cached translation state of the shared hardware, for
 // every address space using it (a non-PCID CR3 write / global flush).
 func (m *MMU) FlushAll() {
+	if m.hw.tc != nil {
+		m.hw.tc.reset()
+	}
 	m.hw.l14k.Flush()
 	if m.cfg.Org == OrgTPS {
 		m.hw.tpsL1.Flush()

@@ -373,14 +373,3 @@ func TestStatsHitMissAccounting(t *testing.T) {
 		t.Error("L1 accounting broken")
 	}
 }
-
-func BenchmarkTranslateHot(b *testing.B) {
-	pt := pagetable.New(addr.Levels4, pagetable.ExtraLookup)
-	m := New(DefaultConfig(OrgTPS), pt, nil, nil)
-	pt.Map(0x40000000, 1<<18, 8, 0)
-	m.Translate(0x40000000, false)
-	b.ResetTimer()
-	for i := 0; i < b.N; i++ {
-		m.Translate(0x40000000+addr.Virt(i&0xfffff), false)
-	}
-}

@@ -1,0 +1,190 @@
+package mmu
+
+import (
+	"tps/internal/addr"
+	"tps/internal/pte"
+	"tps/internal/tlb"
+)
+
+// The translation cache is a pure software fast path in front of the
+// modeled TLB hierarchy: a flat direct-mapped VPN -> (PFN, order,
+// provenance) array that short-circuits repeat hits while replaying
+// exactly the counter and LRU mutations the full Translate flow would
+// have produced, so every reported statistic stays bit-identical with
+// the cache on or off (DESIGN.md's reconciliation invariant).
+//
+// Each line remembers which L1 structure and way satisfied the
+// translation (its provenance). Serving a line requires re-verifying,
+// against the live TLB state, that a real lookup would (a) hit exactly
+// that way — for the single-size set-associative L1s a tag compare
+// suffices (duplicates are impossible); for the fully associative
+// structures the line carries the structure's generation counter, and an
+// equal generation proves the scan's first match is still the remembered
+// way even with overlapping stale entries resident — and (b) finish
+// without side effects: the live flags carry Accessed (plus Write and
+// Dirty for stores), so the A/D maintenance path would not run and a
+// store cannot fault. When any of that fails the lookup falls through to
+// the unmodified slow path, which recounts from scratch and refreshes
+// the line. The cached PFN cannot go stale between verification
+// successes: every translation-changing mutation in the kernel shoots
+// down the affected range, which drops every cache line whose page
+// overlaps it (same overlap semantics as TLB.InvalidateRange).
+
+// Entry provenance: which L1 structure produced the cached translation.
+const (
+	provL14K uint8 = iota // single-size 4 KB L1 (conventional and TPS orgs)
+	provL12M              // single-size 2 MB L1 (conventional org)
+	provL11G              // fully associative 1 GB L1 / RMM range entries
+	provTPS               // fully associative any-size TPS TLB
+	provNone uint8 = 255  // not cacheable (CoLT clusters, skewed TPS TLB)
+)
+
+// defaultTransCacheEntries sizes the cache when Config.TransCache is 0:
+// 16 Ki lines (64 MiB of 4 KB-page reach) costs 512 KiB per Hardware.
+const defaultTransCacheEntries = 16384
+
+// tcInvalid marks an empty line; a tagged VPN can never be all-ones.
+const tcInvalid = ^uint64(0)
+
+// tcEntry is one packed 32-byte line — tag and payload together, so the
+// common-case probe costs a single cache access even when the line
+// itself is cold.
+type tcEntry struct {
+	tag   uint64 // ASID-folded VPN, tcInvalid when empty
+	pfn   addr.PFN
+	gen   uint64 // fill-time generation of the fully associative source
+	way   int32
+	order uint8
+	prov  uint8
+	_     [2]byte
+}
+
+type transCache struct {
+	mask uint64
+	ents []tcEntry
+}
+
+func newTransCache(entries int) *transCache {
+	n := 1
+	for n < entries {
+		n <<= 1
+	}
+	c := &transCache{mask: uint64(n - 1), ents: make([]tcEntry, n)}
+	c.reset()
+	return c
+}
+
+func (c *transCache) reset() {
+	for i := range c.ents {
+		c.ents[i].tag = tcInvalid
+	}
+}
+
+// invalidateRange drops every line whose translation's page overlaps
+// [start, end) — the same overlap semantics the TLBs use. Dropping only
+// exact-tag matches would be insufficient: a line for a VPN outside the
+// shot range but covered by a huge page overlapping it could otherwise be
+// served after its way is refilled with the same (base, order) over
+// different frames.
+func (c *transCache) invalidateRange(start, end addr.VPN) {
+	for i := range c.ents {
+		e := &c.ents[i]
+		if e.tag == tcInvalid {
+			continue
+		}
+		base := addr.VPN(e.tag & tlb.OrderMask(addr.Order(e.order)))
+		if base < end && start < base+addr.VPN(addr.Order(e.order).Pages()) {
+			e.tag = tcInvalid
+		}
+	}
+}
+
+// drop invalidates the line for one exact tagged VPN. Used when a
+// translation attempt fails after installing L1 state (write-protection
+// fault): the line's provenance may no longer describe the structure a
+// real lookup would hit first, so it must not be served again until a
+// successful Translate refills it.
+func (c *transCache) drop(tvpn addr.VPN) {
+	i := uint64(tvpn) & c.mask
+	if c.ents[i].tag == uint64(tvpn) {
+		c.ents[i].tag = tcInvalid
+	}
+}
+
+// serveTC attempts to satisfy a translation from the cache. On success it
+// has replayed the exact stat/LRU effects of the full path and returns
+// the verified line for Result assembly; on failure it returns nil having
+// touched nothing, and the caller runs the slow path.
+func (m *MMU) serveTC(tvpn addr.VPN, write bool) *tcEntry {
+	c := m.hw.tc
+	e := &c.ents[uint64(tvpn)&c.mask]
+	if e.tag != uint64(tvpn) {
+		return nil
+	}
+	// finish side-effect gate: with these bits live in the TLB entry, the
+	// A/D maintenance path cannot run and a store cannot fault.
+	need := uint64(pte.FlagAccessed)
+	if write {
+		need |= pte.FlagWrite | pte.FlagDirty
+	}
+	hw := m.hw
+	w := int(e.way)
+	// Verify against the live structure, then replay what the full lookup
+	// would have counted: a hit in a structure counts an access+miss in
+	// every structure probed before it.
+	switch e.prov {
+	case provL14K:
+		if !hw.l14k.WayReady(w, uint64(tvpn), need) {
+			return nil
+		}
+		hw.l14k.CreditHit(w)
+	case provTPS:
+		if !hw.tpsFA.WayReady(w, need, e.gen) {
+			return nil
+		}
+		hw.l14k.CreditMiss()
+		hw.tpsFA.CreditHit(w)
+	case provL12M:
+		if !hw.l12m.WayReady(w, uint64(tvpn)&tlb.OrderMask(addr.Order(e.order)), need) {
+			return nil
+		}
+		hw.l14k.CreditMiss()
+		hw.l12m.CreditHit(w)
+	case provL11G:
+		if !hw.l11g.WayReady(w, need, e.gen) {
+			return nil
+		}
+		hw.l14k.CreditMiss()
+		hw.l12m.CreditMiss()
+		hw.l11g.CreditHit(w)
+	default:
+		return nil
+	}
+	m.stats.Accesses++
+	m.stats.L1Hits++
+	return e
+}
+
+// fillTC records a successful translation's provenance. e is the (tagged)
+// L1 entry that now holds the translation; way is where installL1 or
+// lookupL1 placed/found it, provNone when the structure is not cacheable.
+func (m *MMU) fillTC(tvpn addr.VPN, e tlb.Entry, prov uint8, way int) {
+	var gen uint64
+	switch prov {
+	case provNone:
+		return
+	case provTPS:
+		gen = m.hw.tpsFA.Gen()
+	case provL11G:
+		gen = m.hw.l11g.Gen()
+	}
+	c := m.hw.tc
+	c.ents[uint64(tvpn)&c.mask] = tcEntry{
+		tag:   uint64(tvpn),
+		pfn:   e.Translate(tvpn),
+		gen:   gen,
+		way:   int32(way),
+		order: uint8(e.Order),
+		prov:  prov,
+	}
+}

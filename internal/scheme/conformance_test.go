@@ -180,31 +180,45 @@ func TestConformanceSimulatedRuns(t *testing.T) {
 }
 
 // TestConformanceZeroAllocTranslate: the steady-state translate path —
-// where every cell spends its life — must not allocate, for any scheme.
+// where every cell spends its life — must not allocate, for any scheme,
+// on every hot-path variant: the default (translation cache in front of
+// the modeled hierarchy), the cache disabled, and the sharded router.
 func TestConformanceZeroAllocTranslate(t *testing.T) {
 	if testing.Short() {
-		t.Skip("faults in a 64MB footprint per scheme")
+		t.Skip("faults in a 64MB footprint per scheme and variant")
+	}
+	variants := []struct {
+		name string
+		opts sim.Options
+	}{
+		{"default", sim.Options{}},
+		{"cache-disabled", sim.Options{TransCache: -1}},
+		{"sharded-2", sim.Options{Shards: 2}},
 	}
 	for _, sch := range scheme.All() {
-		t.Run(sch.Name(), func(t *testing.T) {
-			ss, err := sim.NewSteadyState(sim.Options{Setup: setupFor(t, sch)})
-			if err != nil {
-				t.Fatal(err)
-			}
-			if err := ss.Step(); err != nil { // settle any first-batch laziness
-				t.Fatal(err)
-			}
-			allocs := testing.AllocsPerRun(100, func() {
-				if err := ss.Step(); err != nil {
+		for _, v := range variants {
+			t.Run(sch.Name()+"/"+v.name, func(t *testing.T) {
+				opts := v.opts
+				opts.Setup = setupFor(t, sch)
+				ss, err := sim.NewSteadyState(opts)
+				if err != nil {
 					t.Fatal(err)
 				}
+				if err := ss.Step(); err != nil { // settle any first-batch laziness
+					t.Fatal(err)
+				}
+				allocs := testing.AllocsPerRun(100, func() {
+					if err := ss.Step(); err != nil {
+						t.Fatal(err)
+					}
+				})
+				if allocs != 0 {
+					t.Fatalf("steady-state batch allocates %.2f times, want 0", allocs)
+				}
+				if s := ss.MMUStats(); s.Accesses == 0 {
+					t.Error("steady-state harness drove no translations")
+				}
 			})
-			if allocs != 0 {
-				t.Fatalf("steady-state batch allocates %.2f times, want 0", allocs)
-			}
-			if s := ss.MMUStats(); s.Accesses == 0 {
-				t.Error("steady-state harness drove no translations")
-			}
-		})
+		}
 	}
 }

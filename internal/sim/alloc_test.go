@@ -26,6 +26,11 @@ func allocsPerBatch(t *testing.T, opts Options) float64 {
 		if err := m.RefBatch(pat[off:end]); err != nil {
 			t.Fatal(err)
 		}
+		// Drain so sharded workers' replay (and any allocation it made)
+		// lands inside the measured window; a no-op for the serial machine.
+		if err := m.steadySync(); err != nil {
+			t.Fatal(err)
+		}
 		off = end
 	})
 }
@@ -56,5 +61,33 @@ func TestRefBatchSteadyStateAllocs(t *testing.T) {
 	}
 	if refs.Load() == 0 {
 		t.Error("enabled hook never observed a batch")
+	}
+}
+
+// TestRefBatchSteadyStateAllocsVariants extends the zero-alloc contract to
+// the PR 7 hot-path variants: the translation cache disabled (the full
+// modeled hierarchy on every reference) and the sharded router (staging
+// buffers, channel handoff, and per-replica replay — allocation counts are
+// process-global, so worker-goroutine allocations would be caught).
+func TestRefBatchSteadyStateAllocsVariants(t *testing.T) {
+	if testing.Short() {
+		t.Skip("faults in a 64MB footprint per variant")
+	}
+	variants := []struct {
+		name string
+		opts Options
+	}{
+		{"cache-disabled", Options{Setup: SetupTPS, TransCache: -1}},
+		{"cache-small", Options{Setup: SetupTPS, TransCache: 256}},
+		{"sharded-2", Options{Setup: SetupTPS, Shards: 2}},
+		{"sharded-4-nocache", Options{Setup: SetupTHP, Shards: 4, TransCache: -1}},
+	}
+	for _, v := range variants {
+		t.Run(v.name, func(t *testing.T) {
+			got := allocsPerBatch(t, v.opts)
+			if got != 0 {
+				t.Fatalf("steady-state RefBatch allocates %.2f allocs/op, want 0", got)
+			}
+		})
 	}
 }

@@ -1,0 +1,319 @@
+package sim
+
+import (
+	"fmt"
+	"sync"
+	"sync/atomic"
+
+	"tps/internal/addr"
+	"tps/internal/trace"
+	"tps/internal/workload"
+)
+
+// Deterministic intra-cell sharding: one workload's reference stream is
+// split across Options.Shards worker goroutines at 2 MB stripe
+// granularity, each worker driving a full machine replica, and the
+// per-shard statistics are merged in fixed shard order at the end. The
+// result is reproducible — the shard a stripe lands on is a pure function
+// of (stripe index, seed, shard count), each shard consumes its
+// subsequence in stream order, and the merge order never varies — so two
+// runs with the same options are bit-identical to each other. It is NOT
+// bit-identical to the serial (-shards 1) run: each replica's TLBs see
+// only that shard's stripes, so cross-stripe TLB interference disappears
+// and the kernel replicas size pages independently (capped at the stripe
+// size; see newMachine). DESIGN.md §"Deterministic intra-cell sharding"
+// states the exact merge rule and the deviations.
+//
+// Stripes are 2 MB so that every page a shard replica constructs (the cap
+// keeps them ≤ 2 MB) is covered by references routed to exactly one
+// shard: demand, census, and page-table statistics then sum without
+// double counting. Mmap/Munmap/Phase are broadcast to every replica
+// behind a drain barrier, keeping each replica's event order identical to
+// the serial stream restricted to its stripes.
+
+// stripeShift converts a virtual address to its 2 MB stripe index.
+const stripeShift = addr.BasePageShift + uint(addr.Order2M)
+
+// shardBufs is the number of reference buffers circulating per shard:
+// one staging in the router, the rest in flight or waiting in the free
+// list. All are preallocated, so the steady-state routing path performs
+// zero allocations.
+const shardBufs = 4
+
+// shardMsg is one unit of worker input: a buffer of references to replay,
+// and/or a barrier acknowledgement channel. A worker that receives a
+// non-nil ack has processed everything sent before it and reports its
+// sticky error (nil while healthy) on the channel.
+type shardMsg struct {
+	refs []trace.Ref
+	ack  chan<- error
+}
+
+// shardWorker is the router-side state for one shard.
+type shardWorker struct {
+	work chan shardMsg
+	free chan []trace.Ref
+	buf  []trace.Ref // staging buffer owned by the router
+}
+
+// shardedMachine implements trace.Sink/BatchSink/PhaseSink over machine
+// replicas. It is driven from a single producer goroutine (the workload
+// generator); only the replica workers run concurrently.
+type shardedMachine struct {
+	opts     Options
+	seedMix  uint64
+	machines []*machine
+	workers  []shardWorker
+	wg       sync.WaitGroup
+	failed   atomic.Bool // some worker holds a sticky error
+	ack      chan error  // reused barrier channel (buffered)
+	closed   bool
+}
+
+func newShardedMachine(opts Options) *shardedMachine {
+	ropts := opts
+	ropts.shardReplica = true
+	sm := &shardedMachine{
+		opts: opts,
+		// Seed-derived so the stripe→shard assignment is reproducible but
+		// not aligned with any workload's own striding pattern.
+		seedMix:  uint64(opts.Seed)*0xbf58476d1ce4e5b9 + 0x94d049bb133111eb,
+		machines: make([]*machine, opts.Shards),
+		workers:  make([]shardWorker, opts.Shards),
+		ack:      make(chan error, 1),
+	}
+	for i := range sm.machines {
+		sm.machines[i] = newMachine(ropts)
+		w := &sm.workers[i]
+		w.work = make(chan shardMsg, shardBufs)
+		w.free = make(chan []trace.Ref, shardBufs)
+		for b := 0; b < shardBufs-1; b++ {
+			w.free <- make([]trace.Ref, 0, batchCap)
+		}
+		w.buf = make([]trace.Ref, 0, batchCap)
+		sm.wg.Add(1)
+		go sm.runWorker(i)
+	}
+	return sm
+}
+
+// batchCap mirrors the trace.Batcher flush unit so one producer batch
+// shards into at most Shards dispatches.
+const batchCap = 512
+
+// runWorker replays shard i's subsequence through its machine replica.
+// The first failure is sticky: subsequent buffers are recycled unprocessed
+// and the error is reported at the next barrier.
+func (sm *shardedMachine) runWorker(i int) {
+	defer sm.wg.Done()
+	m := sm.machines[i]
+	var err error
+	for msg := range sm.workers[i].work {
+		if msg.refs != nil {
+			if err == nil {
+				if err = m.RefBatch(msg.refs); err != nil {
+					sm.failed.Store(true)
+				}
+			}
+			sm.workers[i].free <- msg.refs[:0]
+		}
+		if msg.ack != nil {
+			msg.ack <- err
+		}
+	}
+}
+
+// shardOf maps a virtual address to its owning shard: a multiplicative
+// hash of the 2 MB stripe index mixed with the run seed.
+func (sm *shardedMachine) shardOf(v addr.Virt) int {
+	h := (uint64(v)>>stripeShift + sm.seedMix) * 0x9e3779b97f4a7c15
+	h ^= h >> 32
+	return int(h % uint64(len(sm.machines)))
+}
+
+// dispatch hands shard i's staging buffer to its worker and swaps in a
+// recycled one. Blocking on the free list bounds memory: at most
+// shardBufs buffers per shard exist, ever.
+func (sm *shardedMachine) dispatch(i int) {
+	w := &sm.workers[i]
+	w.work <- shardMsg{refs: w.buf}
+	w.buf = <-w.free
+}
+
+// route appends one reference to its shard's staging buffer.
+func (sm *shardedMachine) route(r trace.Ref) {
+	i := sm.shardOf(r.Addr)
+	w := &sm.workers[i]
+	w.buf = append(w.buf, r)
+	if len(w.buf) == cap(w.buf) {
+		sm.dispatch(i)
+	}
+}
+
+// Ref implements trace.Sink.
+func (sm *shardedMachine) Ref(r trace.Ref) error {
+	if sm.failed.Load() {
+		return sm.barrier()
+	}
+	sm.route(r)
+	return nil
+}
+
+// RefBatch implements trace.BatchSink: route the producer's batch in
+// order. A worker failure aborts at batch granularity — the same early-out
+// the serial machine gets from its per-batch context poll.
+func (sm *shardedMachine) RefBatch(refs []trace.Ref) error {
+	if sm.failed.Load() {
+		return sm.barrier()
+	}
+	for i := range refs {
+		sm.route(refs[i])
+	}
+	return nil
+}
+
+// barrier flushes every staging buffer and waits until all workers have
+// drained their queues, returning the first sticky worker error in shard
+// order. On return the workers are idle, so the router may touch the
+// machine replicas directly.
+func (sm *shardedMachine) barrier() error {
+	var first error
+	for i := range sm.workers {
+		w := &sm.workers[i]
+		if len(w.buf) > 0 {
+			sm.dispatch(i)
+		}
+		w.work <- shardMsg{ack: sm.ack}
+		if err := <-sm.ack; err != nil && first == nil {
+			first = err
+		}
+	}
+	return first
+}
+
+// Mmap implements trace.Sink: drain, then broadcast the mapping to every
+// replica in shard order. The replicas run identical kernels over
+// identical event sequences, so they must hand out the same base; a
+// mismatch would silently tear the shared address space and is a bug.
+func (sm *shardedMachine) Mmap(size uint64) (addr.Virt, error) {
+	if err := sm.barrier(); err != nil {
+		return 0, err
+	}
+	base, err := sm.machines[0].Mmap(size)
+	if err != nil {
+		return 0, err
+	}
+	for i := 1; i < len(sm.machines); i++ {
+		b, err := sm.machines[i].Mmap(size)
+		if err != nil {
+			return 0, err
+		}
+		if b != base {
+			return 0, fmt.Errorf("sim: shard %d mmap base %#x diverged from shard 0 base %#x", i, uint64(b), uint64(base))
+		}
+	}
+	return base, nil
+}
+
+// Munmap implements trace.Sink: drain, then broadcast.
+func (sm *shardedMachine) Munmap(base addr.Virt) error {
+	if err := sm.barrier(); err != nil {
+		return err
+	}
+	for _, m := range sm.machines {
+		if err := m.Munmap(base); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// Phase implements trace.PhaseSink: drain, then broadcast so every
+// replica snapshots its warmup counters at the same stream position.
+func (sm *shardedMachine) Phase(name string) {
+	// A barrier error here surfaces on the next Ref/RefBatch call; phase
+	// markers themselves cannot fail.
+	if err := sm.barrier(); err != nil {
+		return
+	}
+	for _, m := range sm.machines {
+		m.Phase(name)
+	}
+}
+
+// finish drains outstanding work and joins every worker. Always called
+// exactly once, error or not, so no goroutine outlives the run.
+func (sm *shardedMachine) finish() error {
+	if sm.closed {
+		return nil
+	}
+	sm.closed = true
+	err := sm.barrier()
+	for i := range sm.workers {
+		close(sm.workers[i].work)
+	}
+	sm.wg.Wait()
+	return err
+}
+
+// collect merges the per-shard results in fixed shard order. The merge
+// rule: hardware (MMU/RMM/CoLT) counters, demand/census/page-table
+// counters, and OS work sum across shards — each reference and each
+// demanded page belongs to exactly one shard. Broadcast operation counts
+// (Mmaps, Munmaps) are taken from shard 0 only, since every replica saw
+// the same calls. Derived metrics (WalkMemRefs, L1MPKI) are recomputed
+// from the merged totals.
+func (sm *shardedMachine) collect(w workload.Workload, c *trace.CountingSink) Result {
+	r := Result{
+		Workload:     w.Name,
+		Setup:        sm.opts.Setup,
+		Scheme:       sm.opts.Setup.SchemeName(),
+		Refs:         c.Refs,
+		Instructions: c.Instructions,
+		Census:       make(map[addr.Order]uint64),
+	}
+	for i, m := range sm.machines {
+		var sub trace.CountingSink
+		s := m.collect(w, &sub)
+		os := s.OS
+		if i > 0 {
+			os.Mmaps, os.Munmaps = 0, 0
+		}
+		r.MMU = addMMU(r.MMU, s.MMU)
+		r.OS = addOS(r.OS, os)
+		r.RMM = addRMM(r.RMM, s.RMM)
+		r.CoLT = addCoLT(r.CoLT, s.CoLT)
+		for o, n := range s.Census {
+			r.Census[o] += n
+		}
+		r.MappedPages += s.MappedPages
+		r.DemandPages += s.DemandPages
+		r.ReservedPages += s.ReservedPages
+		r.PTEWrites += s.PTEWrites
+		r.SysCyclesMain += s.SysCyclesMain
+	}
+	r.WalkMemRefs = r.MMU.WalkRefs + r.MMU.NestedRefs + r.RMM.TableRefs
+	if c.Instructions > 0 {
+		r.L1MPKI = float64(r.MMU.L1Misses) / (float64(c.Instructions) / 1000)
+	}
+	return r
+}
+
+// runSharded executes one workload across shard replicas and merges the
+// result. Reached only for functional, non-SMT runs (Run's dispatch).
+func runSharded(w workload.Workload, opts Options) (Result, error) {
+	sm := newShardedMachine(opts)
+	counter := &trace.CountingSink{Sink: sm}
+	b := trace.NewBatcher(counter)
+	err := w.Run(b, opts.Refs, opts.Seed)
+	if err == nil {
+		err = b.Flush()
+	}
+	if ferr := sm.finish(); err == nil {
+		err = ferr
+	}
+	if err != nil {
+		return Result{}, err
+	}
+	return sm.collect(w, counter), nil
+}

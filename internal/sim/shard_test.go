@@ -1,0 +1,119 @@
+package sim
+
+import (
+	"reflect"
+	"testing"
+
+	"tps/internal/addr"
+)
+
+// runShardedPair runs the same options twice and returns both results.
+func runShardedPair(t *testing.T, opts Options) (Result, Result) {
+	t.Helper()
+	w := miniRandom(16 << 20)
+	a, err := Run(w, opts)
+	if err != nil {
+		t.Fatalf("first sharded run: %v", err)
+	}
+	b, err := Run(w, opts)
+	if err != nil {
+		t.Fatalf("second sharded run: %v", err)
+	}
+	return a, b
+}
+
+// TestShardedDeterministic: two sharded runs with identical options must
+// be bit-identical — the routing hash, per-shard replay order, and merge
+// order are all fixed functions of the options.
+func TestShardedDeterministic(t *testing.T) {
+	for _, shards := range []int{2, 3, 4} {
+		for _, setup := range []Setup{SetupTHP, SetupTPS} {
+			opts := Options{Setup: setup, Refs: 60000, Seed: 11, Shards: shards}
+			a, b := runShardedPair(t, opts)
+			if !reflect.DeepEqual(a, b) {
+				t.Errorf("%v shards=%d: repeated sharded runs diverged:\n%+v\nvs\n%+v", setup, shards, a, b)
+			}
+		}
+	}
+}
+
+// TestShardedAllSchemes: every registered scheme completes a sharded run
+// with the reference and instruction totals of the serial run (routing
+// partitions the stream, it must not drop or duplicate references), and
+// each reference is translated exactly once somewhere.
+func TestShardedAllSchemes(t *testing.T) {
+	for _, setup := range Setups() {
+		opts := Options{Setup: setup, Refs: 40000, Seed: 7}
+		serial, err := Run(miniRandom(16<<20), opts)
+		if err != nil {
+			t.Fatalf("%v serial: %v", setup, err)
+		}
+		opts.Shards = 3
+		sharded, err := Run(miniRandom(16<<20), opts)
+		if err != nil {
+			t.Fatalf("%v sharded: %v", setup, err)
+		}
+		if sharded.Refs != serial.Refs || sharded.Instructions != serial.Instructions {
+			t.Errorf("%v: sharded refs/instr %d/%d, serial %d/%d",
+				setup, sharded.Refs, sharded.Instructions, serial.Refs, serial.Instructions)
+		}
+		// Each main-phase reference is translated by exactly one replica:
+		// merged accesses can only exceed refs by fault retries.
+		if sharded.MMU.Accesses < sharded.Refs {
+			t.Errorf("%v: merged accesses %d < refs %d", setup, sharded.MMU.Accesses, sharded.Refs)
+		}
+		// Broadcast operation counts come from shard 0 alone.
+		if sharded.OS.Mmaps != serial.OS.Mmaps || sharded.OS.Munmaps != serial.OS.Munmaps {
+			t.Errorf("%v: sharded mmap/munmap %d/%d, serial %d/%d",
+				setup, sharded.OS.Mmaps, sharded.OS.Munmaps, serial.OS.Mmaps, serial.OS.Munmaps)
+		}
+		// The stripe cap: no replica may construct a page above 2 MB.
+		for o, n := range sharded.Census {
+			if o > addr.Order2M && n > 0 {
+				t.Errorf("%v: sharded census has %d pages of order %d (> 2 MB stripe)", setup, n, o)
+			}
+		}
+	}
+}
+
+// TestShardedDemandSum: references to a 2 MB stripe all land on one
+// shard, so the merged demand-page count matches the serial run exactly
+// for demand-paged setups (every touched base page is demanded exactly
+// once, in exactly one replica).
+func TestShardedDemandSum(t *testing.T) {
+	for _, setup := range []Setup{SetupBase4K, SetupTHP} {
+		opts := Options{Setup: setup, Refs: 40000, Seed: 3}
+		serial, err := Run(miniRandom(16<<20), opts)
+		if err != nil {
+			t.Fatal(err)
+		}
+		opts.Shards = 4
+		sharded, err := Run(miniRandom(16<<20), opts)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if sharded.OS.DemandPages != serial.OS.DemandPages {
+			t.Errorf("%v: sharded demand pages %d, serial %d",
+				setup, sharded.OS.DemandPages, serial.OS.DemandPages)
+		}
+	}
+}
+
+// TestShardedCycleModelSerial: the timing scenarios are inherently
+// serial; Shards must be ignored rather than silently perturbing the
+// cycle counts.
+func TestShardedCycleModelSerial(t *testing.T) {
+	opts := Options{Setup: SetupTHP, Refs: 30000, Seed: 5, CycleModel: true}
+	serial, err := Run(miniRandom(8<<20), opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	opts.Shards = 4
+	sharded, err := Run(miniRandom(8<<20), opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(serial, sharded) {
+		t.Errorf("cycle-model run with Shards set diverged from serial:\n%+v\nvs\n%+v", serial, sharded)
+	}
+}

@@ -181,6 +181,28 @@ type Options struct {
 	// SMT interleaves a second copy of the workload (different seed,
 	// disjoint address ranges) through the same translation hardware.
 	SMT bool
+
+	// Shards, when > 1, splits the reference stream across that many
+	// worker goroutines at 2 MB stripe granularity, each driving a full
+	// machine replica, with a deterministic merge of the per-shard
+	// statistics (see shard.go). Two runs with identical options are
+	// bit-identical; a sharded run is NOT bit-identical to the serial
+	// one (per-replica TLBs see no cross-stripe interference). Applies
+	// to functional runs only: cycle-model and SMT runs are inherently
+	// serial and ignore the knob.
+	Shards int
+
+	// TransCache overrides the MMU's software translation-cache sizing:
+	// 0 keeps the default, negative disables the cache, positive is an
+	// entry count (rounded up to a power of two). Purely a simulator
+	// fast path — every reported statistic is bit-identical at any
+	// setting.
+	TransCache int
+
+	// shardReplica marks a machine built as one shard's replica:
+	// newMachine caps the kernel's page construction at the 2 MB stripe
+	// size so no page spans stripes owned by other shards.
+	shardReplica bool
 }
 
 // Result is one run's measurements.
@@ -387,10 +409,28 @@ func newMachine(opts Options) *machine {
 	if opts.Levels != 0 {
 		kcfg.Levels = opts.Levels
 	}
+	if opts.shardReplica {
+		// A shard replica only ever sees references within its own 2 MB
+		// stripes, so pages larger than a stripe would span address space
+		// belonging to other shards and double-count in the merged census.
+		if kcfg.MaxTailoredOrder > addr.Order2M {
+			kcfg.MaxTailoredOrder = addr.Order2M
+		}
+		if kcfg.PromotionGranules != nil {
+			granules := make([]addr.Order, 0, len(kcfg.PromotionGranules))
+			for _, o := range kcfg.PromotionGranules {
+				if o <= addr.Order2M {
+					granules = append(granules, o)
+				}
+			}
+			kcfg.PromotionGranules = granules
+		}
+	}
 
 	mcfg := mmu.DefaultConfig(sch.Organization())
 	mcfg.Levels = kcfg.Levels
 	mcfg.Virtualized = opts.Virtualized
+	mcfg.TransCache = opts.TransCache
 	if opts.TPSTLBEntries > 0 {
 		mcfg.TPSTLBEntries = opts.TPSTLBEntries
 	}
@@ -443,12 +483,12 @@ func (m *machine) RefBatch(refs []trace.Ref) error {
 	}
 	if m.opts.CompactEvery == 0 && m.caches == nil {
 		// Functional mode does nothing per reference beyond the
-		// translation itself, so drive the MMU straight from the slice.
+		// translation itself, so drive the MMU straight from the slice
+		// through the Result-free Access fast path.
 		p := m.procs[0]
 		for i := range refs {
-			res, err := p.mmu.Translate(refs[i].Addr, refs[i].Write)
-			if err != nil {
-				if _, err = p.kernel.Resolve(refs[i].Addr, refs[i].Write, res, err); err != nil {
+			if err := p.mmu.Access(refs[i].Addr, refs[i].Write); err != nil {
+				if _, err = p.kernel.Resolve(refs[i].Addr, refs[i].Write, mmu.Result{}, err); err != nil {
 					return err
 				}
 			}
@@ -567,6 +607,9 @@ func Run(w workload.Workload, opts Options) (Result, error) {
 		if err := opts.Context.Err(); err != nil {
 			return Result{}, err
 		}
+	}
+	if opts.Shards > 1 && !opts.SMT && !opts.CycleModel {
+		return runSharded(w, opts)
 	}
 	m := newMachine(opts)
 

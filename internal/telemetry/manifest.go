@@ -45,6 +45,10 @@ type RunConfig struct {
 	Retries      int      `json:"retries,omitempty"`
 	StoreDir     string   `json:"store_dir,omitempty"`
 	Resume       bool     `json:"resume,omitempty"`
+	// Shards is the intra-cell sharding width (sim.Options.Shards);
+	// omitted for serial runs. Sharded statistics are deterministic but
+	// not bit-identical to serial ones, so the manifest must record it.
+	Shards int `json:"shards,omitempty"`
 }
 
 // ExitStatus records how the run ended: "ok", "interrupted" (signal), or

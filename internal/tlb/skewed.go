@@ -6,6 +6,16 @@ import (
 	"tps/internal/addr"
 )
 
+// way is one packed TLB slot. The SetAssoc and FullyAssoc structures use
+// struct-of-arrays layouts instead; the skewed organization keeps the
+// packed form because each of its ways is an independently indexed bank,
+// so there is no contiguous tag array to scan anyway.
+type way struct {
+	entry Entry
+	valid bool
+	lru   uint64
+}
+
 // Skewed is a skewed-associative any-page-size TLB, the alternative
 // organization §III-A2 mentions (citing Seznec [53] and
 // prediction-based designs [44]). Each way uses a different hash of the

@@ -11,6 +11,14 @@
 //
 // All TLBs operate on base-granularity virtual page numbers; an entry of
 // order k covers 2^k consecutive base VPNs.
+//
+// Both structures use a struct-of-arrays layout: tags, masks, orders,
+// frames, flags, and LRU stamps live in parallel slices instead of a
+// packed entry struct. A probe therefore scans one contiguous tag (or
+// tag+mask) array — the cache-line-dense, SIMD-friendly arrangement — and
+// only touches the payload arrays on a hit. Validity is encoded in the tag
+// itself (invalidTag marks an empty slot), so the scan needs no separate
+// valid-bit load.
 package tlb
 
 import (
@@ -77,28 +85,38 @@ type TLB interface {
 	Capacity() int
 }
 
-// --- Set-associative TLB ---
+// invalidTag marks an empty comparator slot: a masked VPN can never equal
+// all-ones (virtual addresses stay far below 2^63), and an invalid slot's
+// mask is 0, which zeroes every incoming VPN.
+const invalidTag = ^uint64(0)
 
-type way struct {
-	entry Entry
-	valid bool
-	lru   uint64
-}
+// OrderMask returns ^(pages-1) for o: the page-mask comparator input of
+// Fig. 7, exported so the mmu's front-line translation cache can verify a
+// remembered FullyAssoc way against the live comparator arrays.
+func OrderMask(o addr.Order) uint64 { return ^(uint64(1)<<uint(o) - 1) }
+
+// --- Set-associative TLB ---
 
 // SetAssoc is a set-associative TLB. It supports a fixed set of page
 // orders; lookups probe once per order that currently has resident entries
 // (the standard simulator treatment of the multiple-page-size indexing
 // problem the paper's §II-A describes).
+//
+// Layout: way w of set s lives at index s*ways+w of the parallel arrays.
+// tags[i] is the entry's (order-aligned) base VPN, or invalidTag for an
+// empty slot; ords/pfns/flags/lrus carry the payload.
 type SetAssoc struct {
 	name   string
 	sets   int
 	ways   int
 	orders []addr.Order
-	data   []way // sets*ways entries; set s occupies [s*ways, (s+1)*ways)
-	// tags mirrors data: the entry's base VPN when valid, invalidTag
-	// otherwise, so a probe walks one compact cache line per set instead
-	// of the full way records.
-	tags []uint64
+
+	tags  []uint64
+	ords  []addr.Order
+	pfns  []addr.PFN
+	flags []uint64
+	lrus  []uint64
+
 	tick uint64
 	// single marks a one-page-size TLB (the common L1 case): find can skip
 	// the per-order loop and the per-way order compare.
@@ -123,13 +141,17 @@ func NewSetAssoc(name string, sets, ways int, orders ...addr.Order) *SetAssoc {
 	if len(orders) == 0 {
 		panic("tlb: at least one page order required")
 	}
+	n := sets * ways
 	t := &SetAssoc{
 		name:      name,
 		sets:      sets,
 		ways:      ways,
 		orders:    append([]addr.Order(nil), orders...),
-		data:      make([]way, sets*ways),
-		tags:      make([]uint64, sets*ways),
+		tags:      make([]uint64, n),
+		ords:      make([]addr.Order, n),
+		pfns:      make([]addr.PFN, n),
+		flags:     make([]uint64, n),
+		lrus:      make([]uint64, n),
 		single:    len(orders) == 1,
 		residents: make([]int, len(orders)),
 	}
@@ -148,6 +170,19 @@ func (t *SetAssoc) Capacity() int { return t.sets * t.ways }
 // Stats implements TLB.
 func (t *SetAssoc) Stats() Stats { return t.stats }
 
+// Single reports whether the TLB holds exactly one page size — the
+// precondition for a tag compare alone identifying a translation (the
+// mmu's translation cache only caches ways of single-size structures).
+func (t *SetAssoc) Single() bool { return t.single }
+
+// WayReady reports whether way w currently holds tag with all `need` flag
+// bits set — the condition under which a Lookup producing this way could
+// be served without any flag-maintenance side effects. Meaningful only
+// for single-size TLBs, where a tag match alone identifies a translation.
+func (t *SetAssoc) WayReady(w int, tag, need uint64) bool {
+	return t.tags[w] == tag && t.flags[w]&need == need
+}
+
 func (t *SetAssoc) index(vpn addr.VPN, o addr.Order) int {
 	return int(uint64(vpn)>>uint(o)) & (t.sets - 1)
 }
@@ -161,33 +196,65 @@ func (t *SetAssoc) orderSlot(o addr.Order) int {
 	return -1
 }
 
+func (t *SetAssoc) entryAt(w int) Entry {
+	return Entry{VPN: addr.VPN(t.tags[w]), PFN: t.pfns[w], Order: t.ords[w], Flags: t.flags[w]}
+}
+
 // Lookup implements TLB.
 func (t *SetAssoc) Lookup(vpn addr.VPN) (Entry, bool) {
+	e, _, ok := t.LookupWay(vpn)
+	return e, ok
+}
+
+// LookupWay is Lookup, additionally reporting which way satisfied the hit
+// (-1 on miss) so the caller can remember and later re-credit it.
+func (t *SetAssoc) LookupWay(vpn addr.VPN) (Entry, int, bool) {
 	t.stats.Accesses++
-	if e, w := t.find(vpn); w != nil {
+	if w := t.find(vpn); w >= 0 {
 		t.tick++
-		w.lru = t.tick
+		t.lrus[w] = t.tick
 		t.stats.Hits++
-		return e, true
+		return t.entryAt(w), w, true
 	}
 	t.stats.Misses++
-	return Entry{}, false
+	return Entry{}, -1, false
+}
+
+// CreditHit replays the exact state effects of a Lookup that hit way w —
+// tick advance, LRU stamp, access and hit counters — without the probe.
+// The mmu's translation cache uses it (after verifying the way still
+// holds the remembered tag) to keep modeled state bit-identical while
+// skipping the scan. Calling it with a way a Lookup would not have hit
+// breaks stat fidelity; it is the caller's job to verify first.
+func (t *SetAssoc) CreditHit(w int) {
+	t.stats.Accesses++
+	t.tick++
+	t.lrus[w] = t.tick
+	t.stats.Hits++
+}
+
+// CreditMiss replays the state effects of a Lookup that missed: access and
+// miss counters (a missing probe touches no LRU state).
+func (t *SetAssoc) CreditMiss() {
+	t.stats.Accesses++
+	t.stats.Misses++
 }
 
 // Probe implements TLB.
 func (t *SetAssoc) Probe(vpn addr.VPN) (Entry, bool) {
-	if e, w := t.find(vpn); w != nil {
-		return e, true
+	if w := t.find(vpn); w >= 0 {
+		return t.entryAt(w), true
 	}
 	return Entry{}, false
 }
 
-func (t *SetAssoc) find(vpn addr.VPN) (Entry, *way) {
+// find returns the way index holding a translation for vpn, or -1.
+func (t *SetAssoc) find(vpn addr.VPN) int {
 	if t.single {
 		// One page size: no order loop, and every resident entry has that
 		// order, so the tag compare alone decides.
 		if t.residents[0] == 0 {
-			return Entry{}, nil
+			return -1
 		}
 		o := t.orders[0]
 		base := uint64(vpn.AlignDown(o))
@@ -195,10 +262,10 @@ func (t *SetAssoc) find(vpn addr.VPN) (Entry, *way) {
 		tags := t.tags[s : s+t.ways]
 		for w := range tags {
 			if tags[w] == base {
-				return t.data[s+w].entry, &t.data[s+w]
+				return s + w
 			}
 		}
-		return Entry{}, nil
+		return -1
 	}
 	for i, o := range t.orders {
 		if t.residents[i] == 0 {
@@ -210,48 +277,55 @@ func (t *SetAssoc) find(vpn addr.VPN) (Entry, *way) {
 		for w := range tags {
 			// Same-tag entries of a different order (a larger page whose
 			// base coincides) are rejected by the order compare.
-			if tags[w] == base && t.data[s+w].entry.Order == o {
-				return t.data[s+w].entry, &t.data[s+w]
+			if tags[w] == base && t.ords[s+w] == o {
+				return s + w
 			}
 		}
 	}
-	return Entry{}, nil
+	return -1
 }
 
 // Insert implements TLB. Inserting a translation already present replaces
 // it in place (refreshing flags), so fills after permission upgrades work.
-func (t *SetAssoc) Insert(e Entry) {
+func (t *SetAssoc) Insert(e Entry) { t.InsertWay(e) }
+
+// InsertWay is Insert, additionally reporting the way the entry landed in.
+func (t *SetAssoc) InsertWay(e Entry) int {
 	slot := t.orderSlot(e.Order)
 	if slot < 0 {
 		panic(fmt.Sprintf("tlb %s: unsupported page order %d", t.name, e.Order))
 	}
 	t.tick++
 	s := t.index(e.VPN, e.Order) * t.ways
-	set := t.data[s : s+t.ways]
 	vi := -1
-	for w := range set {
-		if set[w].valid && set[w].entry.Order == e.Order && set[w].entry.VPN == e.VPN {
-			set[w].entry = e
-			set[w].lru = t.tick
-			return
+	for w := s; w < s+t.ways; w++ {
+		valid := t.tags[w] != invalidTag
+		if valid && t.ords[w] == e.Order && t.tags[w] == uint64(e.VPN) {
+			t.pfns[w] = e.PFN
+			t.flags[w] = e.Flags
+			t.lrus[w] = t.tick
+			return w
 		}
-		if vi < 0 || !set[w].valid || (set[vi].valid && set[w].lru < set[vi].lru) {
-			if vi < 0 || set[vi].valid {
+		// Victim: the first invalid way if any, else the least recently
+		// used (strict <, first occurrence).
+		if vi < 0 || !valid || (t.tags[vi] != invalidTag && t.lrus[w] < t.lrus[vi]) {
+			if vi < 0 || t.tags[vi] != invalidTag {
 				vi = w
 			}
 		}
 	}
-	victim := &set[vi]
-	if victim.valid {
-		t.residents[t.orderSlot(victim.entry.Order)]--
+	if t.tags[vi] != invalidTag {
+		t.residents[t.orderSlot(t.ords[vi])]--
 		t.stats.Evictions++
 	}
-	victim.entry = e
-	victim.valid = true
-	victim.lru = t.tick
-	t.tags[s+vi] = uint64(e.VPN)
+	t.tags[vi] = uint64(e.VPN)
+	t.ords[vi] = e.Order
+	t.pfns[vi] = e.PFN
+	t.flags[vi] = e.Flags
+	t.lrus[vi] = t.tick
 	t.residents[slot]++
 	t.stats.Fills++
+	return vi
 }
 
 // InvalidatePage implements TLB.
@@ -260,13 +334,11 @@ func (t *SetAssoc) InvalidatePage(vpn addr.VPN) {
 		if t.residents[i] == 0 {
 			continue
 		}
-		base := vpn.AlignDown(o)
+		base := uint64(vpn.AlignDown(o))
 		s := t.index(vpn, o) * t.ways
-		set := t.data[s : s+t.ways]
-		for w := range set {
-			if set[w].valid && set[w].entry.Order == o && set[w].entry.VPN == base {
-				set[w].valid = false
-				t.tags[s+w] = invalidTag
+		for w := s; w < s+t.ways; w++ {
+			if t.tags[w] == base && t.ords[w] == o {
+				t.tags[w] = invalidTag
 				t.residents[i]--
 				t.stats.Invalidates++
 			}
@@ -276,17 +348,15 @@ func (t *SetAssoc) InvalidatePage(vpn addr.VPN) {
 
 // InvalidateRange implements TLB.
 func (t *SetAssoc) InvalidateRange(start, end addr.VPN) {
-	for w := range t.data {
-		wy := &t.data[w]
-		if !wy.valid {
+	for w := range t.tags {
+		if t.tags[w] == invalidTag {
 			continue
 		}
-		eStart := wy.entry.VPN
-		eEnd := eStart + addr.VPN(wy.entry.Order.Pages())
+		eStart := addr.VPN(t.tags[w])
+		eEnd := eStart + addr.VPN(t.ords[w].Pages())
 		if eStart < end && start < eEnd {
-			wy.valid = false
 			t.tags[w] = invalidTag
-			t.residents[t.orderSlot(wy.entry.Order)]--
+			t.residents[t.orderSlot(t.ords[w])]--
 			t.stats.Invalidates++
 		}
 	}
@@ -294,9 +364,8 @@ func (t *SetAssoc) InvalidateRange(start, end addr.VPN) {
 
 // Flush implements TLB.
 func (t *SetAssoc) Flush() {
-	for w := range t.data {
-		if t.data[w].valid {
-			t.data[w].valid = false
+	for w := range t.tags {
+		if t.tags[w] != invalidTag {
 			t.tags[w] = invalidTag
 			t.stats.Invalidates++
 		}
@@ -311,17 +380,23 @@ func (t *SetAssoc) Flush() {
 // FullyAssoc is the paper's TPS TLB: fully associative, any page size, with
 // a page-mask field per entry. The incoming VPN is masked with each entry's
 // mask before tag compare (Fig. 7).
+//
+// Layout: masks[i] is ^(pages-1) for the entry's order and tags[i] is its
+// (order-aligned) base VPN — the literal hardware comparator inputs of
+// Fig. 7. An invalid slot holds tags[i] = invalidTag with masks[i] = 0,
+// which no masked VPN can equal, so validity needs no extra branch. The
+// ords/pfns/flags/lrus payload arrays are only touched on a hit.
 type FullyAssoc struct {
-	name    string
-	entries []way
-	// tags and masks mirror entries so the scan touches one compact array:
-	// masks[i] is ^(pages-1) for the entry's order and tags[i] is its
-	// (order-aligned) base VPN — the literal hardware comparator inputs of
-	// Fig. 7. An invalid slot holds tags[i] = invalidTag with masks[i] = 0,
-	// which no masked VPN can equal, so validity needs no extra branch.
+	name string
+
 	tags  []uint64
 	masks []uint64
-	tick  uint64
+	ords  []addr.Order
+	pfns  []addr.PFN
+	flags []uint64
+	lrus  []uint64
+
+	tick uint64
 	// mru is the index of the last entry that hit: Lookup probes it before
 	// the linear scan, the software analogue of a way predictor.
 	mru int
@@ -335,13 +410,16 @@ type FullyAssoc struct {
 	// is provably unique and first-match == MRU-match, keeping every stat
 	// and LRU decision bit-identical to the plain scan.
 	overlaps int
-	stats    Stats
+	// gen counts structural changes: any event that could alter which way
+	// a Lookup returns (victim install, invalidate, flush). Hits and
+	// in-place refreshes leave it unchanged — LRU, MRU, and flag updates
+	// never affect lookup outcomes. The mmu's translation cache stamps
+	// each line with the gen at fill time; an equal gen at serve time
+	// proves the scan's first match is still the remembered way, even with
+	// overlapping entries resident.
+	gen   uint64
+	stats Stats
 }
-
-// invalidTag marks an empty comparator slot: a masked VPN can never equal
-// all-ones (virtual addresses stay far below 2^63), and an invalid slot's
-// mask is 0, which zeroes every incoming VPN.
-const invalidTag = ^uint64(0)
 
 // NewFullyAssoc builds a fully associative any-page-size TLB.
 func NewFullyAssoc(name string, entries int) *FullyAssoc {
@@ -349,10 +427,13 @@ func NewFullyAssoc(name string, entries int) *FullyAssoc {
 		panic("tlb: entries must be positive")
 	}
 	t := &FullyAssoc{
-		name:    name,
-		entries: make([]way, entries),
-		tags:    make([]uint64, entries),
-		masks:   make([]uint64, entries),
+		name:  name,
+		tags:  make([]uint64, entries),
+		masks: make([]uint64, entries),
+		ords:  make([]addr.Order, entries),
+		pfns:  make([]addr.PFN, entries),
+		flags: make([]uint64, entries),
+		lrus:  make([]uint64, entries),
 	}
 	for i := range t.tags {
 		t.tags[i] = invalidTag
@@ -360,21 +441,41 @@ func NewFullyAssoc(name string, entries int) *FullyAssoc {
 	return t
 }
 
-// orderMask returns ^(pages-1) for o: the page-mask comparator input.
-func orderMask(o addr.Order) uint64 { return ^(uint64(1)<<uint(o) - 1) }
-
 // Name implements TLB.
 func (t *FullyAssoc) Name() string { return t.name }
 
 // Capacity implements TLB.
-func (t *FullyAssoc) Capacity() int { return len(t.entries) }
+func (t *FullyAssoc) Capacity() int { return len(t.tags) }
 
 // Stats implements TLB.
 func (t *FullyAssoc) Stats() Stats { return t.stats }
 
+func (t *FullyAssoc) entryAt(i int) Entry {
+	return Entry{VPN: addr.VPN(t.tags[i]), PFN: t.pfns[i], Order: t.ords[i], Flags: t.flags[i]}
+}
+
+// Gen returns the structural-change counter (see the field comment).
+func (t *FullyAssoc) Gen() uint64 { return t.gen }
+
+// WayReady reports whether a Lookup that previously hit way w at
+// structural generation gen would still hit it and complete without
+// flag-maintenance side effects: the structure is unchanged (same gen, so
+// the scan's first match is unchanged) and way w's flags carry all `need`
+// bits. The mmu's translation cache verifies a remembered way with this
+// before crediting a hit.
+func (t *FullyAssoc) WayReady(w int, need, gen uint64) bool {
+	return t.gen == gen && t.flags[w]&need == need
+}
+
 // Lookup implements TLB. The masked compare is the hardware page-mask
 // match: vpn & mask == tag, where mask = ^(pages-1) for the entry's size.
 func (t *FullyAssoc) Lookup(vpn addr.VPN) (Entry, bool) {
+	e, _, ok := t.LookupWay(vpn)
+	return e, ok
+}
+
+// LookupWay is Lookup, additionally reporting the hit way (-1 on miss).
+func (t *FullyAssoc) LookupWay(vpn addr.VPN) (Entry, int, bool) {
 	t.stats.Accesses++
 	uv := uint64(vpn)
 	if t.overlaps == 0 {
@@ -382,26 +483,36 @@ func (t *FullyAssoc) Lookup(vpn addr.VPN) (Entry, bool) {
 		// is unique and checking the last hit first cannot change which
 		// entry (or which stats) a lookup produces.
 		if i := t.mru; uv&t.masks[i] == t.tags[i] {
-			w := &t.entries[i]
 			t.tick++
-			w.lru = t.tick
+			t.lrus[i] = t.tick
 			t.stats.Hits++
-			return w.entry, true
+			return t.entryAt(i), i, true
 		}
 	}
 	tags, masks := t.tags, t.masks
 	for i := range tags {
 		if uv&masks[i] == tags[i] {
-			w := &t.entries[i]
 			t.tick++
-			w.lru = t.tick
+			t.lrus[i] = t.tick
 			t.mru = i
 			t.stats.Hits++
-			return w.entry, true
+			return t.entryAt(i), i, true
 		}
 	}
 	t.stats.Misses++
-	return Entry{}, false
+	return Entry{}, -1, false
+}
+
+// CreditHit replays the exact state effects of a Lookup that hit way w:
+// tick advance, LRU stamp, MRU update, access and hit counters. As with
+// SetAssoc.CreditHit, the caller must have verified (WayHolds) that a real
+// Lookup would have hit exactly this way.
+func (t *FullyAssoc) CreditHit(w int) {
+	t.stats.Accesses++
+	t.tick++
+	t.lrus[w] = t.tick
+	t.mru = w
+	t.stats.Hits++
 }
 
 // Probe implements TLB.
@@ -409,7 +520,7 @@ func (t *FullyAssoc) Probe(vpn addr.VPN) (Entry, bool) {
 	uv := uint64(vpn)
 	for i := range t.tags {
 		if uv&t.masks[i] == t.tags[i] {
-			return t.entries[i].entry, true
+			return t.entryAt(i), true
 		}
 	}
 	return Entry{}, false
@@ -420,17 +531,15 @@ func (t *FullyAssoc) Probe(vpn addr.VPN) (Entry, bool) {
 // the overlaps pair count. O(n), called only on the fill/invalidate paths,
 // which are already O(n).
 func (t *FullyAssoc) overlapPairs(i int) int {
-	e := t.entries[i].entry
-	start := e.VPN
-	end := start + addr.VPN(e.Order.Pages())
+	start := addr.VPN(t.tags[i])
+	end := start + addr.VPN(t.ords[i].Pages())
 	n := 0
-	for j := range t.entries {
-		if j == i || !t.entries[j].valid {
+	for j := range t.tags {
+		if j == i || t.tags[j] == invalidTag {
 			continue
 		}
-		o := t.entries[j].entry
-		oStart := o.VPN
-		oEnd := oStart + addr.VPN(o.Order.Pages())
+		oStart := addr.VPN(t.tags[j])
+		oEnd := oStart + addr.VPN(t.ords[j].Pages())
 		if start < oEnd && oStart < end {
 			n++
 		}
@@ -442,50 +551,55 @@ func (t *FullyAssoc) overlapPairs(i int) int {
 // arrays consistent.
 func (t *FullyAssoc) drop(i int) {
 	t.overlaps -= t.overlapPairs(i)
-	t.entries[i].valid = false
+	t.gen++
 	t.tags[i] = invalidTag
 	t.masks[i] = 0
 	t.stats.Invalidates++
 }
 
 // Insert implements TLB.
-func (t *FullyAssoc) Insert(e Entry) {
+func (t *FullyAssoc) Insert(e Entry) { t.InsertWay(e) }
+
+// InsertWay is Insert, additionally reporting the way the entry landed in.
+func (t *FullyAssoc) InsertWay(e Entry) int {
 	t.tick++
 	vi := -1
-	for i := range t.entries {
-		w := &t.entries[i]
-		if w.valid && w.entry.Order == e.Order && w.entry.VPN == e.VPN {
+	for i := range t.tags {
+		valid := t.tags[i] != invalidTag
+		if valid && t.ords[i] == e.Order && t.tags[i] == uint64(e.VPN) {
 			// Same translation re-filled in place: the covered range is
 			// unchanged, so the overlap count is too.
-			w.entry = e
-			w.lru = t.tick
-			return
+			t.pfns[i] = e.PFN
+			t.flags[i] = e.Flags
+			t.lrus[i] = t.tick
+			return i
 		}
-		if vi < 0 || !w.valid || (t.entries[vi].valid && w.lru < t.entries[vi].lru) {
-			if vi < 0 || t.entries[vi].valid {
+		if vi < 0 || !valid || (t.tags[vi] != invalidTag && t.lrus[i] < t.lrus[vi]) {
+			if vi < 0 || t.tags[vi] != invalidTag {
 				vi = i
 			}
 		}
 	}
-	victim := &t.entries[vi]
-	if victim.valid {
+	if t.tags[vi] != invalidTag {
 		t.overlaps -= t.overlapPairs(vi)
 		t.stats.Evictions++
 	}
-	victim.entry = e
-	victim.valid = true
-	victim.lru = t.tick
+	t.gen++
 	t.tags[vi] = uint64(e.VPN)
-	t.masks[vi] = orderMask(e.Order)
+	t.masks[vi] = OrderMask(e.Order)
+	t.ords[vi] = e.Order
+	t.pfns[vi] = e.PFN
+	t.flags[vi] = e.Flags
+	t.lrus[vi] = t.tick
 	t.overlaps += t.overlapPairs(vi)
 	t.stats.Fills++
+	return vi
 }
 
 // InvalidatePage implements TLB.
 func (t *FullyAssoc) InvalidatePage(vpn addr.VPN) {
-	for i := range t.entries {
-		w := &t.entries[i]
-		if w.valid && w.entry.Covers(vpn) {
+	for i := range t.tags {
+		if t.tags[i] != invalidTag && t.entryAt(i).Covers(vpn) {
 			t.drop(i)
 		}
 	}
@@ -493,13 +607,12 @@ func (t *FullyAssoc) InvalidatePage(vpn addr.VPN) {
 
 // InvalidateRange implements TLB.
 func (t *FullyAssoc) InvalidateRange(start, end addr.VPN) {
-	for i := range t.entries {
-		w := &t.entries[i]
-		if !w.valid {
+	for i := range t.tags {
+		if t.tags[i] == invalidTag {
 			continue
 		}
-		eStart := w.entry.VPN
-		eEnd := eStart + addr.VPN(w.entry.Order.Pages())
+		eStart := addr.VPN(t.tags[i])
+		eEnd := eStart + addr.VPN(t.ords[i].Pages())
 		if eStart < end && start < eEnd {
 			t.drop(i)
 		}
@@ -508,9 +621,9 @@ func (t *FullyAssoc) InvalidateRange(start, end addr.VPN) {
 
 // Flush implements TLB.
 func (t *FullyAssoc) Flush() {
-	for i := range t.entries {
-		if t.entries[i].valid {
-			t.entries[i].valid = false
+	t.gen++
+	for i := range t.tags {
+		if t.tags[i] != invalidTag {
 			t.tags[i] = invalidTag
 			t.masks[i] = 0
 			t.stats.Invalidates++

@@ -1,0 +1,73 @@
+#!/usr/bin/env bash
+# CI bench-regression guard (PR 7): the hot-path budget is enforced, not
+# aspirational.
+#
+# 1. Re-measures the THP and TPS RefLoop benchmarks and fails if either
+#    regresses more than 15% versus the committed BENCH_PR7.json ns/ref.
+#    CI machines are noisy, so the measurement takes the best of three
+#    1-second rounds — regressions big enough to matter survive that.
+# 2. Runs the golden figure check with -shards > 1: a -shards 1 run must
+#    be byte-identical to the checked-in serial golden (the flag's serial
+#    path IS the serial runner), and two -shards 2 runs of the full -all
+#    surface must be byte-identical to each other (sharded statistics
+#    deviate from serial by design — see DESIGN.md — but must be exactly
+#    reproducible).
+#
+#   scripts/bench_guard.sh
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+bench_file=BENCH_PR7.json
+tolerance=115  # percent of the committed ns/ref allowed
+
+# --- 1. bench regression guard -----------------------------------------
+committed_ns() { # scheme -> committed ns_per_ref
+    awk -v s="\"$1\"" -F'[:,]' '$0 ~ "\"setup\": "s {
+        for (i = 1; i < NF; i++) if ($i ~ /"ns_per_ref"/) { gsub(/ /, "", $(i+1)); print $(i+1); exit }
+    }' "$bench_file"
+}
+
+raw="$(mktemp)"
+trap 'rm -f "$raw"' EXIT
+for round in 1 2 3; do
+    go test -run='^$' -bench='^BenchmarkRefLoop$/^(thp|tps)$' -benchtime=1s -count=1 \
+        ./internal/sim >> "$raw"
+done
+
+fail=0
+for scheme in thp tps; do
+    want="$(committed_ns "$scheme")"
+    [ -n "$want" ] || { echo "bench_guard: no $scheme row in $bench_file" >&2; exit 1; }
+    got="$(awk -v s="$scheme" '$1 ~ "^BenchmarkRefLoop/"s"(-[0-9]+)?$" { for (i=2;i<=NF;i++) if ($i=="ns/op") print $(i-1) }' "$raw" \
+        | sort -g | head -1)"
+    [ -n "$got" ] || { echo "bench_guard: benchmark produced no $scheme measurement" >&2; exit 1; }
+    ok="$(awk -v got="$got" -v want="$want" -v tol="$tolerance" \
+        'BEGIN { print (got <= want * tol / 100) ? 1 : 0 }')"
+    if [ "$ok" = 1 ]; then
+        echo "bench_guard: $scheme ${got} ns/ref (committed ${want}, limit ${tolerance}%)" >&2
+    else
+        echo "bench_guard: FAIL: $scheme ${got} ns/ref exceeds ${tolerance}% of committed ${want}" >&2
+        fail=1
+    fi
+done
+[ "$fail" = 0 ] || exit 1
+
+# --- 2. golden check with shards ---------------------------------------
+workdir="$(mktemp -d)"
+trap 'rm -f "$raw"; rm -rf "$workdir"' EXIT
+go build -o "$workdir/figures" ./cmd/figures
+
+# -shards 1 must be the serial runner exactly: byte-identical to the
+# checked-in golden (which Println terminates with one extra newline).
+"$workdir/figures" -fig 10 -refs 20000 -suite gcc,leela -progress=false -shards 1 \
+    > "$workdir/shards1.out"
+{ cat testdata/fig10_refs20000_seed42.golden; echo; } | cmp - "$workdir/shards1.out"
+echo "bench_guard: -shards 1 output matches serial golden" >&2
+
+# -shards 2 across the whole -all surface: deterministic, byte for byte.
+"$workdir/figures" -all -refs 6000 -suite gcc,leela -progress=false -shards 2 \
+    > "$workdir/shards2a.out"
+"$workdir/figures" -all -refs 6000 -suite gcc,leela -progress=false -shards 2 \
+    > "$workdir/shards2b.out"
+cmp "$workdir/shards2a.out" "$workdir/shards2b.out"
+echo "bench_guard: two -all -shards 2 runs are byte-identical" >&2

@@ -1,8 +1,14 @@
 #!/usr/bin/env bash
-# Regenerates the machine-readable benchmark record (BENCH_PR2.json by
+# Regenerates the machine-readable benchmark record (BENCH_PR7.json by
 # default): runs the per-reference hot-loop benchmarks and emits one JSON
 # object per setup with ns/ref and allocs/ref. Run on an idle machine;
 # compare across commits with benchstat on the raw `go test -bench` output.
+#
+# Coverage: every registered scheme (BenchmarkRefLoop iterates the
+# registry), the translation-cache before/after rows (RefLoopNoCache),
+# the intra-cell shard-scaling rows (RefLoopSharded), the cycle model,
+# and the telemetry on/off pair. Rows carry a speedup column against the
+# committed BENCH_PR2.json ns/ref where that record has the same setup.
 #
 # The JSON lands atomically: awk writes to a temp file that is renamed
 # into place only on success, and the EXIT trap removes both temp files,
@@ -11,12 +17,15 @@
 #   scripts/bench_json.sh [output.json]
 set -euo pipefail
 cd "$(dirname "$0")/.."
-out="${1:-BENCH_PR2.json}"
+out="${1:-BENCH_PR7.json}"
 
 raw="$(mktemp)"
 tmp="$(mktemp)"
 trap 'rm -f "$raw" "$tmp"' EXIT
-go test -run='^$' -bench='RefLoop' -benchmem -count=1 ./internal/sim | tee "$raw" >&2
+# -count=3, keeping the best round per benchmark below: single rounds on a
+# shared machine jitter by ~15-20%, which would make the CI regression
+# guard (scripts/bench_guard.sh, also best-of-3) trip on noise.
+go test -run='^$' -bench='RefLoop' -benchmem -count=3 ./internal/sim | tee "$raw" >&2
 
 # Provenance: without the commit, toolchain, and GOMAXPROCS a BENCH_*.json
 # is uninterpretable six months later. "+dirty" marks uncommitted trees.
@@ -28,61 +37,80 @@ maxprocs="${GOMAXPROCS:-$(getconf _NPROCESSORS_ONLN)}"
 awk -v date="$(date -u +%Y-%m-%dT%H:%M:%SZ)" \
     -v commit="$commit" -v goversion="$goversion" -v maxprocs="$maxprocs" '
 BEGIN {
-    # Pre-fast-path ns/ref, measured at the PR 1 tree on the reference
-    # machine (Xeon @ 2.70GHz, GOMAXPROCS=1) — the denominator for the
-    # speedup column. The 4K/THP/TPS/CoLT/RMM paths also allocated via
-    # the per-ref delivery chain; CycleModel allocated 96 B/ref.
-    base["4K"] = 115.0
-    base["THP"] = 61.39
-    base["TPS"] = 92.93
-    base["CoLT"] = 129.4
-    base["RMM"] = 77.02
-    base["THP+CycleModel"] = 227.8
-
-    # Display label -> stable scheme-registry name. Rows are recorded
-    # under both: the label for humans, the registry name for anything
-    # joining bench rows against store keys, telemetry, or figure output.
-    reg["4K"] = "base4k"
-    reg["THP"] = "thp"
-    reg["TPS"] = "tps"
-    reg["TPS-eager"] = "tps-eager"
-    reg["CoLT"] = "colt"
-    reg["RMM"] = "rmm"
-    reg["2M-only"] = "2m-only"
-    reg["Svnapot"] = "svnapot"
+    # BENCH_PR2.json ns/ref on the reference machine (Xeon @ 2.70GHz) —
+    # the denominator for the speedup column. Schemes registered after
+    # PR 2 (tps-eager, 2m-only, svnapot) have no PR 2 row and no column.
+    base["base4k"] = 80.23
+    base["thp"] = 26.12
+    base["tps"] = 41.76
+    base["colt"] = 56.40
+    base["rmm"] = 40.96
+    base["thp+cyclemodel"] = 150.7
+    base["tps+telemetry-off"] = 41.76
+    base["tps+telemetry-on"] = 41.76
+    # The no-cache rows price the modeled hierarchy alone; their PR 2
+    # twins ARE the plain rows (the cache did not exist then).
+    base["thp+nocache"] = 26.12
+    base["tps+nocache"] = 41.76
 }
 /^BenchmarkRefLoop/ {
     name = $1
-    sub(/^BenchmarkRefLoopTelemetry\/disabled.*/, "TPS+telemetry-off", name)
-    sub(/^BenchmarkRefLoopTelemetry\/enabled.*/, "TPS+telemetry-on", name)
-    sub(/^BenchmarkRefLoopCycleModel.*/, "THP+CycleModel", name)
-    sub(/^BenchmarkRefLoop\//, "", name)
-    sub(/-[0-9]+$/, "", name)  # strip GOMAXPROCS suffix if present
+    sub(/^BenchmarkRefLoopTelemetry\/disabled.*/, "tps+telemetry-off", name)
+    sub(/^BenchmarkRefLoopTelemetry\/enabled.*/, "tps+telemetry-on", name)
+    sub(/^BenchmarkRefLoopCycleModel.*/, "thp+cyclemodel", name)
+    if (name ~ /^BenchmarkRefLoopNoCache\//) {
+        sub(/^BenchmarkRefLoopNoCache\//, "", name)
+        sub(/-[0-9]+$/, "", name)
+        name = name "+nocache"
+    }
+    shards = 0
+    if (name ~ /^BenchmarkRefLoopSharded\//) {
+        # "BenchmarkRefLoopSharded/tps-shards-4" plus an optional "-N"
+        # GOMAXPROCS suffix (absent when GOMAXPROCS=1) — pull the shard
+        # count out positionally so the suffix strip cannot eat it.
+        sub(/^BenchmarkRefLoopSharded\//, "", name)
+        match(name, /-shards-[0-9]+/)
+        shards = substr(name, RSTART + 8, RLENGTH - 8)
+        name = substr(name, 1, RSTART - 1) "+shards-" shards
+    }
+    if (name ~ /^BenchmarkRefLoop\//) {
+        sub(/^BenchmarkRefLoop\//, "", name)
+        sub(/-[0-9]+$/, "", name)  # strip GOMAXPROCS suffix if present
+    }
     ns = ""; allocs = ""
     for (i = 2; i <= NF; i++) {
         if ($i == "ns/op") ns = $(i-1)
         if ($i == "allocs/op") allocs = $(i-1)
     }
     if (ns != "") {
-        extra = ""
-        if (name in base) {
-            extra = sprintf(", \"baseline_ns_per_ref\": %s, \"speedup\": %.2f", base[name], base[name] / ns)
-        }
-        baselabel = name
-        sub(/\+.*/, "", baselabel)  # "TPS+telemetry-on" benches the tps scheme
-        scheme = (baselabel in reg) ? reg[baselabel] : "unknown"
-        rows[++n] = sprintf("    {\"setup\": \"%s\", \"scheme\": \"%s\", \"ns_per_ref\": %s, \"allocs_per_ref\": %s%s}", name, scheme, ns, allocs == "" ? "null" : allocs, extra)
+        if (!(name in bestNs) || ns + 0 < bestNs[name] + 0) bestNs[name] = ns
+        if (allocs != "" && (!(name in worstAllocs) || allocs + 0 > worstAllocs[name] + 0))
+            worstAllocs[name] = allocs
+        if (!(name in seen)) { seen[name] = 1; names[++n] = name; shardsOf[name] = shards }
     }
 }
 END {
     printf "{\n"
-    printf "  \"benchmark\": \"BenchmarkRefLoop (go test -bench=RefLoop -benchmem ./internal/sim)\",\n"
+    printf "  \"benchmark\": \"BenchmarkRefLoop* (go test -bench=RefLoop -benchmem ./internal/sim)\",\n"
     printf "  \"generated\": \"%s\",\n", date
     printf "  \"commit\": \"%s\",\n", commit
     printf "  \"go_version\": \"%s\",\n", goversion
     printf "  \"gomaxprocs\": %s,\n", maxprocs
     printf "  \"results\": [\n"
-    for (i = 1; i <= n; i++) printf "%s%s\n", rows[i], i < n ? "," : ""
+    for (i = 1; i <= n; i++) {
+        name = names[i]; ns = bestNs[name]
+        extra = ""
+        if (name in base) {
+            extra = sprintf(", \"pr2_ns_per_ref\": %s, \"speedup_vs_pr2\": %.2f", base[name], base[name] / ns)
+        }
+        if (shardsOf[name] != 0) {
+            extra = extra sprintf(", \"shards\": %s", shardsOf[name])
+        }
+        scheme = name
+        sub(/\+.*/, "", scheme)  # "tps+shards-4" benches the tps scheme
+        allocs = (name in worstAllocs) ? worstAllocs[name] : "null"
+        printf "    {\"setup\": \"%s\", \"scheme\": \"%s\", \"ns_per_ref\": %s, \"allocs_per_ref\": %s%s}%s\n", name, scheme, ns, allocs, extra, i < n ? "," : ""
+    }
     printf "  ]\n}\n"
 }' "$raw" > "$tmp"
 mv "$tmp" "$out"
