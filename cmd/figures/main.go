@@ -44,8 +44,6 @@ import (
 	"errors"
 	"flag"
 	"fmt"
-	"net"
-	"net/http"
 	"os"
 	"os/signal"
 	"runtime"
@@ -148,14 +146,15 @@ func run() (code int) {
 		rec.LogTo(telemetry.NewEventLog(f))
 	}
 	if *listen != "" {
-		ln, err := net.Listen("tcp", *listen)
-		if err != nil {
-			return fail(err)
+		// A failed bind (port in use) costs one warning, never the run:
+		// the sweep proceeds without its live view.
+		addr, shutdown := telemetry.Serve(*listen, rec, func(format string, args ...any) {
+			fmt.Fprintf(os.Stderr, "figures: "+format+"\n", args...)
+		})
+		defer shutdown()
+		if addr != "" {
+			fmt.Fprintf(os.Stderr, "figures: serving metrics on http://%s/metrics (pprof on /debug/pprof/)\n", addr)
 		}
-		fmt.Fprintf(os.Stderr, "figures: serving metrics on http://%s/metrics (pprof on /debug/pprof/)\n", ln.Addr())
-		srv := &http.Server{Handler: telemetry.Handler(rec)}
-		go srv.Serve(ln)
-		defer srv.Close()
 	}
 
 	cfg := tps.FigureConfig{

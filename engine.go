@@ -12,6 +12,7 @@ import (
 	"sync/atomic"
 	"time"
 
+	"tps/internal/fabric"
 	"tps/internal/store"
 	"tps/internal/telemetry"
 )
@@ -197,15 +198,13 @@ func cellCounters(res Result) telemetry.Counters {
 }
 
 // runCell executes one attempt plus up to cfg.Retries re-runs under a
-// capped exponential backoff — the opt-in path for transient store or I/O
-// errors. Panics (CellError) are deterministic and never retried;
-// cancellation is final.
+// capped exponential backoff with jitter (fabric.Backoff — the same
+// policy fleet workers pace their lease renewals with; the jitter keeps a
+// fleet of retrying workers from thundering back at the same wall-clock
+// instant after a shared transient). Panics (CellError) are deterministic
+// and never retried; cancellation is final.
 func (e *engine) runCell(ctx context.Context, ci telemetry.CellInfo, key runKey, slot int, fn runFunc) (Result, error) {
-	backoff := e.cfg.RetryBackoff
-	if backoff <= 0 {
-		backoff = 50 * time.Millisecond
-	}
-	const maxBackoff = 2 * time.Second
+	bo := fabric.Backoff{Base: e.cfg.RetryBackoff}
 	onRefs := e.tel.WorkerRefs(slot) // nil with telemetry off
 	for attempt := 0; ; attempt++ {
 		res, err := e.attempt(ctx, key, fn, onRefs)
@@ -216,13 +215,8 @@ func (e *engine) runCell(ctx context.Context, ci telemetry.CellInfo, key runKey,
 		if errors.As(err, &cerr) || ctx.Err() != nil {
 			return res, err
 		}
-		select {
-		case <-time.After(backoff):
-		case <-ctx.Done():
-			return Result{}, ctx.Err()
-		}
-		if backoff *= 2; backoff > maxBackoff {
-			backoff = maxBackoff
+		if err := bo.Sleep(ctx, attempt); err != nil {
+			return Result{}, err
 		}
 		e.tel.CellRetried(ci, slot, attempt+1)
 	}
@@ -250,16 +244,21 @@ func (e *engine) attempt(ctx context.Context, key runKey, fn runFunc, onRefs fun
 	return fn(ctx, onRefs)
 }
 
-// fingerprint renders a cell's complete identity — every runKey field
-// plus the Runner-wide knobs (refs, seed, memory) and the simulator
+// cellFingerprint renders a cell's complete identity — every runKey field
+// plus the run-wide knobs (refs, seed, memory, shards) and the simulator
 // version salt — as the stable string the store key hashes. Two cells
 // share a fingerprint exactly when their Results must be identical.
 // The setup is identified by its stable scheme-registry name, never its
 // enum ordinal: ordinals shift when the Setup list is reordered or grows
 // mid-list, which would silently remap persisted results across schemes.
-func (e *engine) fingerprint(k runKey) string {
+//
+// This is a package-level function (not an engine method) because it is
+// the fleet's dedup key too: SpecKey derives the identical fingerprint
+// from a wire-serialized fabric.CellSpec, so a cell computed by any
+// worker lands in the same store slot a local run would use.
+func cellFingerprint(refs uint64, seed int64, mem uint64, shards int, k runKey) string {
 	fp := fmt.Sprintf("%s|refs=%d|seed=%d|mem=%d|w=%s|scheme=%s|smt=%t|virt=%t|frag=%t|cyc=%t|thr=%g|sizing=%d|alias=%d|cfail=%t|lvl=%d|tlbe=%d|skew=%t|ce=%d",
-		SimVersion, e.cfg.Refs, e.cfg.Seed, e.cfg.MemoryPages,
+		SimVersion, refs, seed, mem,
 		k.name, k.setup.SchemeName(), k.smt, k.virt, k.frag, k.cyc,
 		k.threshold, k.sizing, k.alias, k.compactFail,
 		k.levels, k.tlbEntries, k.skewed, k.compactEvery)
@@ -267,10 +266,14 @@ func (e *engine) fingerprint(k runKey) string {
 	// sharded cells get their own fingerprint. Cycle-model and SMT cells
 	// ignore the knob (sim runs them serial); their keys stay unchanged so
 	// stores written by serial runs keep hitting.
-	if e.cfg.Shards > 1 && !k.cyc && !k.smt {
-		fp += fmt.Sprintf("|shards=%d", e.cfg.Shards)
+	if shards > 1 && !k.cyc && !k.smt {
+		fp += fmt.Sprintf("|shards=%d", shards)
 	}
 	return fp
+}
+
+func (e *engine) fingerprint(k runKey) string {
+	return cellFingerprint(e.cfg.Refs, e.cfg.Seed, e.cfg.MemoryPages, e.cfg.Shards, k)
 }
 
 // cellKey is the cell's content address in the result store.

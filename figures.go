@@ -231,6 +231,22 @@ func SchemesByName(names []string) ([]Setup, error) {
 // side by side for an arbitrary scheme set (including registered backends
 // the paper predates, like svnapot).
 func (r *Runner) SchemeGrid(setups []Setup) (*Table, error) {
+	t := SchemeGridTable(setups)
+	r.stream(t)
+	if err := r.ctxErr(); err != nil {
+		return nil, err
+	}
+	r.warmSuite(r.cfg.Suite, setups)
+	return FillSchemeGrid(t, r.cfg.Suite, setups, func(w Workload, s Setup) (Result, error) {
+		return r.run(w, s, runFlags{})
+	})
+}
+
+// SchemeGridTable builds the empty comparison-grid table for the given
+// scheme set: title, headers, notes, no rows. Split out of SchemeGrid so
+// cmd/tpsfarm can assemble the byte-identical grid from fleet-computed
+// results — one formatting implementation, however the cells were run.
+func SchemeGridTable(setups []Setup) *Table {
 	t := &Table{
 		Title:  "Scheme Comparison Grid: L1 DTLB MPKI / Page-Walk Memory References per 1k Instructions",
 		Header: []string{"benchmark"},
@@ -239,16 +255,20 @@ func (r *Runner) SchemeGrid(setups []Setup) (*Table, error) {
 	for _, s := range setups {
 		t.Header = append(t.Header, s.String())
 	}
-	r.stream(t)
-	if err := r.ctxErr(); err != nil {
-		return nil, err
-	}
-	r.warmSuite(r.cfg.Suite, setups)
+	return t
+}
+
+// FillSchemeGrid assembles the comparison grid into t by pulling each
+// (workload, setup) cell from get in row-major order — the Runner passes
+// its memoizing run method, the fleet coordinator passes a blocking
+// wait-for-completion getter. Rows flush to t.Stream as they complete, so
+// a streaming caller sees rows the moment their cells land.
+func FillSchemeGrid(t *Table, suite []Workload, setups []Setup, get func(Workload, Setup) (Result, error)) (*Table, error) {
 	sums := make([][2]float64, len(setups))
-	for _, w := range r.cfg.Suite {
+	for _, w := range suite {
 		row := []string{w.Name}
 		for i, s := range setups {
-			res, err := r.run(w, s, runFlags{})
+			res, err := get(w, s)
 			if err != nil {
 				return nil, err
 			}
@@ -259,7 +279,7 @@ func (r *Runner) SchemeGrid(setups []Setup) (*Table, error) {
 		}
 		t.AddRow(row...)
 	}
-	n := float64(len(r.cfg.Suite))
+	n := float64(len(suite))
 	avg := []string{"average"}
 	for i := range setups {
 		avg = append(avg, f2(sums[i][0]/n)+"/"+f2(sums[i][1]/n))

@@ -1,0 +1,72 @@
+package fabric
+
+import (
+	"context"
+	"math/rand/v2"
+	"time"
+)
+
+// Backoff computes capped exponential delays with multiplicative jitter.
+// It is the one retry-pacing policy shared by the experiment engine's
+// -retries cell re-runs, the worker's lease renewals and completion
+// retries, and the client's transport retries. The jitter is the point:
+// a deterministic schedule makes every retrying party in a fleet thunder
+// back at the same wall-clock instant after a shared failure (a restarted
+// coordinator, a recovered disk); spreading attempts over [1-Jitter,
+// 1+Jitter] × the nominal delay decorrelates them.
+//
+// The zero value is usable: 50 ms base, 2 s cap, ±50% jitter — the
+// engine's historical retry constants.
+type Backoff struct {
+	Base   time.Duration // first delay; <= 0 means 50 ms
+	Cap    time.Duration // delay ceiling (pre-jitter); <= 0 means 2 s
+	Jitter float64       // ± fraction; <= 0 means 0.5, clamped to [0, 1]
+	// Rand supplies uniform [0,1) variates; nil uses the shared
+	// math/rand/v2 generator. Tests inject a constant to pin schedules.
+	Rand func() float64
+}
+
+// Delay returns the jittered delay for the given 0-based attempt number:
+// min(Cap, Base<<attempt) scaled by a uniform factor in [1-J, 1+J].
+func (b Backoff) Delay(attempt int) time.Duration {
+	base := b.Base
+	if base <= 0 {
+		base = 50 * time.Millisecond
+	}
+	cap := b.Cap
+	if cap <= 0 {
+		cap = 2 * time.Second
+	}
+	d := base
+	for i := 0; i < attempt && d < cap; i++ {
+		d *= 2
+	}
+	if d > cap {
+		d = cap
+	}
+	j := b.Jitter
+	if j <= 0 {
+		j = 0.5
+	}
+	if j > 1 {
+		j = 1
+	}
+	r := b.Rand
+	if r == nil {
+		r = rand.Float64
+	}
+	return time.Duration(float64(d) * (1 + j*(2*r()-1)))
+}
+
+// Sleep blocks for the attempt's jittered delay or until ctx is canceled,
+// returning the context error in the latter case — the retry loop idiom.
+func (b Backoff) Sleep(ctx context.Context, attempt int) error {
+	t := time.NewTimer(b.Delay(attempt))
+	defer t.Stop()
+	select {
+	case <-t.C:
+		return nil
+	case <-ctx.Done():
+		return ctx.Err()
+	}
+}

@@ -1,0 +1,68 @@
+package fabric
+
+import (
+	"context"
+	"testing"
+	"time"
+)
+
+func TestBackoffDelayBounds(t *testing.T) {
+	b := Backoff{Base: 50 * time.Millisecond, Cap: 2 * time.Second, Jitter: 0.5}
+	for attempt := 0; attempt < 12; attempt++ {
+		nominal := 50 * time.Millisecond << attempt
+		if nominal > 2*time.Second {
+			nominal = 2 * time.Second
+		}
+		lo := time.Duration(float64(nominal) * 0.5)
+		hi := time.Duration(float64(nominal) * 1.5)
+		for trial := 0; trial < 200; trial++ {
+			d := b.Delay(attempt)
+			if d < lo || d > hi {
+				t.Fatalf("attempt %d: delay %v outside [%v, %v]", attempt, d, lo, hi)
+			}
+		}
+	}
+}
+
+func TestBackoffDefaultsMatchEngineConstants(t *testing.T) {
+	// The zero value must reproduce the engine's historical 50ms/2s retry
+	// schedule (modulo jitter) — that is the compatibility contract for
+	// reusing this helper in the engine's -retries path.
+	var b Backoff
+	b.Rand = func() float64 { return 0.5 } // jitter factor exactly 1.0
+	if got := b.Delay(0); got != 50*time.Millisecond {
+		t.Fatalf("default base = %v, want 50ms", got)
+	}
+	if got := b.Delay(3); got != 400*time.Millisecond {
+		t.Fatalf("attempt 3 = %v, want 400ms", got)
+	}
+	if got := b.Delay(20); got != 2*time.Second {
+		t.Fatalf("attempt 20 = %v, want capped 2s", got)
+	}
+}
+
+func TestBackoffJittered(t *testing.T) {
+	// With a real RNG the schedule must actually vary — a constant
+	// schedule is the thundering herd the jitter exists to prevent.
+	b := Backoff{Base: time.Second, Cap: time.Minute}
+	seen := map[time.Duration]bool{}
+	for i := 0; i < 50; i++ {
+		seen[b.Delay(0)] = true
+	}
+	if len(seen) < 10 {
+		t.Fatalf("50 jittered delays produced only %d distinct values", len(seen))
+	}
+}
+
+func TestBackoffSleepCancel(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	b := Backoff{Base: time.Hour, Cap: time.Hour}
+	start := time.Now()
+	if err := b.Sleep(ctx, 0); err != context.Canceled {
+		t.Fatalf("Sleep on canceled ctx = %v, want context.Canceled", err)
+	}
+	if time.Since(start) > time.Second {
+		t.Fatal("Sleep did not return promptly on cancellation")
+	}
+}

@@ -1,0 +1,335 @@
+package fabric
+
+import (
+	"context"
+	"fmt"
+	"sync"
+	"testing"
+	"time"
+)
+
+// fakeClock is an injectable coordinator clock for lease-lifecycle tests:
+// expiry and straggler ages advance only when the test says so.
+type fakeClock struct {
+	mu  sync.Mutex
+	now time.Time
+}
+
+func newFakeClock() *fakeClock {
+	return &fakeClock{now: time.Unix(1_000_000, 0)}
+}
+
+func (c *fakeClock) Now() time.Time {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.now
+}
+
+func (c *fakeClock) Advance(d time.Duration) {
+	c.mu.Lock()
+	c.now = c.now.Add(d)
+	c.mu.Unlock()
+}
+
+func testCoordinator(clk *fakeClock, cfg Config) *Coordinator {
+	cfg.Now = clk.Now
+	c := New(cfg)
+	return c
+}
+
+func spec(i int) CellSpec {
+	return CellSpec{Workload: fmt.Sprintf("w%d", i), Scheme: "tps", Refs: 1000, Seed: 42}
+}
+
+// TestLeaseExpiryRedispatchDuplicateIdempotent is the headline lifecycle
+// edge: a lease expires, the cell re-dispatches to a second worker, both
+// complete — and the cell counts exactly once, with the loser's
+// completion acknowledged as a duplicate.
+func TestLeaseExpiryRedispatchDuplicateIdempotent(t *testing.T) {
+	clk := newFakeClock()
+	c := testCoordinator(clk, Config{TTL: time.Second, SpeculateAfter: -1})
+	c.Add("k1", spec(1))
+
+	l1, done := c.Grant("slow", WorkerStats{})
+	if l1 == nil || done {
+		t.Fatalf("grant 1: lease=%v done=%v", l1, done)
+	}
+	if l1.Generation != 1 {
+		t.Fatalf("first grant generation = %d, want 1", l1.Generation)
+	}
+
+	// No heartbeat for > TTL: the lease expires and re-dispatches with a
+	// bumped generation.
+	clk.Advance(1500 * time.Millisecond)
+	l2, done := c.Grant("fast", WorkerStats{})
+	if l2 == nil || done {
+		t.Fatalf("grant after expiry: lease=%v done=%v", l2, done)
+	}
+	if l2.Key != "k1" || l2.Generation != 2 {
+		t.Fatalf("re-dispatch got key=%s gen=%d, want k1 gen 2", l2.Key, l2.Generation)
+	}
+	if s := c.Snapshot(); s.Expirations != 1 {
+		t.Fatalf("expirations = %d, want 1", s.Expirations)
+	}
+
+	// The fast copy completes first; the slow original completes late
+	// with its stale generation — accepted, deduped, not double-counted.
+	result := []byte(`{"refs":1}`)
+	r1 := c.Complete("fast", "k1", l2.Generation, result, "")
+	if !r1.Accepted || r1.Duplicate {
+		t.Fatalf("first completion: %+v", r1)
+	}
+	r2 := c.Complete("slow", "k1", l1.Generation, result, "")
+	if !r2.Accepted || !r2.Duplicate {
+		t.Fatalf("late duplicate completion: %+v, want accepted duplicate", r2)
+	}
+
+	s := c.Snapshot()
+	if s.Completions != 1 || s.Duplicates != 1 || s.CellsDone != 1 {
+		t.Fatalf("counters after dup: completions=%d duplicates=%d done=%d, want 1/1/1",
+			s.Completions, s.Duplicates, s.CellsDone)
+	}
+	got, err := c.WaitResult(context.Background(), "k1")
+	if err != nil || string(got) != string(result) {
+		t.Fatalf("WaitResult = %q, %v", got, err)
+	}
+	if _, fleetDone := c.Grant("fast", WorkerStats{}); !fleetDone {
+		t.Fatal("fleet not reported done after the only cell settled")
+	}
+}
+
+// TestClockSkewedHeartbeatAfterExpiry: a renewal that arrives after the
+// coordinator already expired the lease (worker clock skew, GC stall,
+// network delay) is refused — but the worker's completion still lands.
+func TestClockSkewedHeartbeatAfterExpiry(t *testing.T) {
+	clk := newFakeClock()
+	c := testCoordinator(clk, Config{TTL: time.Second, SpeculateAfter: -1})
+	c.Add("k1", spec(1))
+
+	l, _ := c.Grant("skewed", WorkerStats{})
+	if !c.Renew("skewed", l.Key, l.Generation, WorkerStats{}) {
+		t.Fatal("in-TTL renewal refused")
+	}
+	// The worker's clock says it renewed in time; the coordinator's says
+	// otherwise. Coordinator wins.
+	clk.Advance(2 * time.Second)
+	if c.Renew("skewed", l.Key, l.Generation, WorkerStats{}) {
+		t.Fatal("post-expiry renewal extended a dead lease")
+	}
+	if s := c.Snapshot(); s.StaleRenewals == 0 || s.Expirations != 1 {
+		t.Fatalf("stale=%d expirations=%d, want >0 and 1", s.StaleRenewals, s.Expirations)
+	}
+	// The cell is pending again; a renewal from a re-grant to another
+	// worker must also refuse the old generation.
+	l2, _ := c.Grant("other", WorkerStats{})
+	if l2 == nil || l2.Generation != 2 {
+		t.Fatalf("re-grant: %+v", l2)
+	}
+	if c.Renew("skewed", l.Key, l.Generation, WorkerStats{}) {
+		t.Fatal("old generation renewed a re-issued lease")
+	}
+	// The skewed worker still completes successfully (first!), and the
+	// active holder's later completion dedupes.
+	if r := c.Complete("skewed", "k1", l.Generation, []byte(`{"a":1}`), ""); !r.Accepted || r.Duplicate {
+		t.Fatalf("stale-generation completion rejected: %+v", r)
+	}
+	if r := c.Complete("other", "k1", l2.Generation, []byte(`{"a":1}`), ""); !r.Duplicate {
+		t.Fatalf("holder completion after settle: %+v, want duplicate", r)
+	}
+	if s := c.Snapshot(); s.Completions != 1 || s.CellsDone != 1 {
+		t.Fatalf("double count: %+v", s)
+	}
+}
+
+// TestCoordinatorRestartResume: a replacement coordinator seeded from
+// store contents dispatches only the remainder, and completions that were
+// in flight across the restart land idempotently.
+func TestCoordinatorRestartResume(t *testing.T) {
+	clk := newFakeClock()
+	c1 := testCoordinator(clk, Config{TTL: time.Second})
+	for i := 0; i < 4; i++ {
+		c1.Add(fmt.Sprintf("k%d", i), spec(i))
+	}
+	// Two cells settle; pretend their results went to the shared store.
+	store := map[string][]byte{}
+	for i := 0; i < 2; i++ {
+		l, _ := c1.Grant("w1", WorkerStats{})
+		res := []byte(fmt.Sprintf(`{"cell":%d}`, i))
+		c1.Complete("w1", l.Key, l.Generation, res, "")
+		store[l.Key] = res
+	}
+	// Coordinator dies. A worker finishes its in-flight lease anyway and
+	// writes to the store (k2), per the degradation contract.
+	l3, _ := c1.Grant("w2", WorkerStats{})
+	lateResult := []byte(`{"cell":2}`)
+	store[l3.Key] = lateResult
+
+	// Restart: seed from store contents.
+	c2 := testCoordinator(clk, Config{TTL: time.Second})
+	for i := 0; i < 4; i++ {
+		key := fmt.Sprintf("k%d", i)
+		if data, ok := store[key]; ok {
+			c2.AddSettled(key, spec(i), data)
+		} else {
+			c2.Add(key, spec(i))
+		}
+	}
+	s := c2.Snapshot()
+	if s.StoreSeeded != 3 || s.CellsDone != 3 {
+		t.Fatalf("resume seeded %d done %d, want 3/3", s.StoreSeeded, s.CellsDone)
+	}
+	// The worker's retried completion for k2 (sent before it saw the
+	// restart) arrives: duplicate, no double count.
+	if r := c2.Complete("w2", l3.Key, l3.Generation, lateResult, ""); !r.Duplicate {
+		t.Fatalf("cross-restart completion: %+v, want duplicate", r)
+	}
+	// Only the one unsettled cell is dispatched, then the fleet drains.
+	l, done := c2.Grant("w2", WorkerStats{})
+	if l == nil || l.Key != "k3" || done {
+		t.Fatalf("post-resume grant: %+v done=%v, want k3", l, done)
+	}
+	c2.Complete("w2", l.Key, l.Generation, []byte(`{"cell":3}`), "")
+	if !c2.Done() {
+		t.Fatal("fleet not done after resume completed the remainder")
+	}
+	if s := c2.Snapshot(); s.Completions != 1 || s.Duplicates != 1 {
+		t.Fatalf("resume counters: %+v", s)
+	}
+}
+
+// TestSpeculativeRedispatch: with the pending queue drained, an idle
+// worker is handed a duplicate grant of the oldest straggler.
+func TestSpeculativeRedispatch(t *testing.T) {
+	clk := newFakeClock()
+	c := testCoordinator(clk, Config{TTL: 10 * time.Second, SpeculateAfter: 2 * time.Second})
+	c.Add("k1", spec(1))
+	c.Add("k2", spec(2))
+
+	l1, _ := c.Grant("slow", WorkerStats{})
+	clk.Advance(time.Second)
+	l2, _ := c.Grant("fast", WorkerStats{})
+	if l1 == nil || l2 == nil {
+		t.Fatal("initial grants failed")
+	}
+	c.Complete("fast", l2.Key, l2.Generation, []byte(`{"b":1}`), "")
+
+	// Too young to speculate on: the idle worker is told to wait.
+	if l, done := c.Grant("fast", WorkerStats{}); l != nil || done {
+		t.Fatalf("premature speculation: lease=%+v done=%v", l, done)
+	}
+	// Straggler age passes the threshold (but not the TTL): re-issued.
+	clk.Advance(1500 * time.Millisecond)
+	spec2, done := c.Grant("fast", WorkerStats{})
+	if spec2 == nil || done || spec2.Key != l1.Key {
+		t.Fatalf("speculation grant: %+v", spec2)
+	}
+	if spec2.Generation != l1.Generation+1 {
+		t.Fatalf("speculation generation %d, want %d", spec2.Generation, l1.Generation+1)
+	}
+	if s := c.Snapshot(); s.Speculations != 1 {
+		t.Fatalf("speculations = %d, want 1", s.Speculations)
+	}
+	// The original holder's renewal now refuses (its generation is
+	// stale), but both completions are welcome and count once.
+	if c.Renew("slow", l1.Key, l1.Generation, WorkerStats{}) {
+		t.Fatal("stale generation renewed after speculation")
+	}
+	c.Complete("fast", spec2.Key, spec2.Generation, []byte(`{"a":1}`), "")
+	if r := c.Complete("slow", l1.Key, l1.Generation, []byte(`{"a":1}`), ""); !r.Duplicate {
+		t.Fatalf("original after speculation: %+v, want duplicate", r)
+	}
+	if s := c.Snapshot(); s.Completions != 2 || s.CellsDone != 2 || s.Duplicates != 1 {
+		t.Fatalf("final counters: %+v", s)
+	}
+}
+
+// TestWorkerFailureRequeueThenFailed: worker-side errors re-dispatch the
+// cell until MaxFailures, then settle it as failed with the error
+// surfaced to waiters.
+func TestWorkerFailureRequeueThenFailed(t *testing.T) {
+	clk := newFakeClock()
+	c := testCoordinator(clk, Config{TTL: time.Second, MaxFailures: 2})
+	c.Add("k1", spec(1))
+
+	l, _ := c.Grant("w1", WorkerStats{})
+	if r := c.Complete("w1", l.Key, l.Generation, nil, "disk on fire"); !r.Accepted {
+		t.Fatalf("failure report rejected: %+v", r)
+	}
+	if s := c.Snapshot(); s.Requeues != 1 || s.CellsFailed != 0 {
+		t.Fatalf("after first failure: %+v", s)
+	}
+	l2, _ := c.Grant("w2", WorkerStats{})
+	if l2 == nil || l2.Key != "k1" {
+		t.Fatalf("failed cell not re-dispatched: %+v", l2)
+	}
+	c.Complete("w2", l2.Key, l2.Generation, nil, "also on fire")
+	if s := c.Snapshot(); s.CellsFailed != 1 {
+		t.Fatalf("cell not settled failed after MaxFailures: %+v", s)
+	}
+	if _, err := c.WaitResult(context.Background(), "k1"); err == nil {
+		t.Fatal("WaitResult returned no error for a failed cell")
+	}
+	if !c.Done() {
+		t.Fatal("fleet with only a failed cell not done")
+	}
+}
+
+// TestValidateRejectsGarbage: a completion payload the validator refuses
+// (torn store read relayed by a worker) is rejected and the cell stays in
+// play — a recompute, never a wrong number.
+func TestValidateRejectsGarbage(t *testing.T) {
+	clk := newFakeClock()
+	c := testCoordinator(clk, Config{
+		TTL: time.Second,
+		Validate: func(data []byte) error {
+			if string(data) != `{"good":true}` {
+				return fmt.Errorf("garbage")
+			}
+			return nil
+		},
+	})
+	c.Add("k1", spec(1))
+	l, _ := c.Grant("w1", WorkerStats{})
+	if r := c.Complete("w1", l.Key, l.Generation, []byte(`{"good":tr`), ""); r.Accepted {
+		t.Fatalf("garbage accepted: %+v", r)
+	}
+	if s := c.Snapshot(); s.Rejected != 1 || s.CellsDone != 0 {
+		t.Fatalf("after rejection: %+v", s)
+	}
+	l2, _ := c.Grant("w1", WorkerStats{})
+	if l2 == nil || l2.Key != "k1" {
+		t.Fatalf("rejected cell not re-dispatched: %+v", l2)
+	}
+	if r := c.Complete("w1", l2.Key, l2.Generation, []byte(`{"good":true}`), ""); !r.Accepted || r.Duplicate {
+		t.Fatalf("clean completion: %+v", r)
+	}
+	if got, err := c.WaitResult(context.Background(), "k1"); err != nil || string(got) != `{"good":true}` {
+		t.Fatalf("WaitResult = %q, %v", got, err)
+	}
+}
+
+// TestOnCompleteFiresOncePerCell: the persistence hook sees each cell's
+// first completion exactly once, however many duplicates arrive.
+func TestOnCompleteFiresOncePerCell(t *testing.T) {
+	clk := newFakeClock()
+	var mu sync.Mutex
+	calls := map[string]int{}
+	c := testCoordinator(clk, Config{
+		TTL: time.Second,
+		OnComplete: func(key string, _ CellSpec, _ []byte) {
+			mu.Lock()
+			calls[key]++
+			mu.Unlock()
+		},
+	})
+	c.Add("k1", spec(1))
+	l, _ := c.Grant("w1", WorkerStats{})
+	for i := 0; i < 3; i++ {
+		c.Complete("w1", l.Key, l.Generation, []byte(`{"x":1}`), "")
+	}
+	mu.Lock()
+	defer mu.Unlock()
+	if calls["k1"] != 1 {
+		t.Fatalf("OnComplete fired %d times, want 1", calls["k1"])
+	}
+}

@@ -1,0 +1,147 @@
+package fabric
+
+import (
+	"context"
+	"encoding/json"
+	"fmt"
+	"net/http"
+	"net/http/httptest"
+	"sync"
+	"testing"
+	"time"
+)
+
+// TestFleetExactUnderChaos drives a real coordinator over real HTTP with
+// every transport fault mode firing, and holds the fleet to the exactness
+// invariant: each cell settles exactly once, with exactly the bytes a
+// clean run would produce, however many requests vanished, stalled,
+// doubled, or came back truncated.
+func TestFleetExactUnderChaos(t *testing.T) {
+	const cells = 48
+	const workers = 3
+
+	golden := func(s CellSpec) []byte {
+		// Stands in for the deterministic simulator: same spec, same bytes.
+		raw, _ := json.Marshal(map[string]any{"workload": s.Workload, "refs": s.Refs})
+		return raw
+	}
+
+	var mu sync.Mutex
+	persisted := map[string][]byte{}
+	// Cells compute instantly here, so a short TTL is safe — and necessary:
+	// a DropAfter on a grant response orphans that lease (the server
+	// granted, the worker never heard), and only expiry recovers it.
+	coord := New(Config{
+		TTL:            300 * time.Millisecond,
+		SpeculateAfter: -1,
+		OnComplete: func(key string, _ CellSpec, result []byte) {
+			mu.Lock()
+			defer mu.Unlock()
+			if prev, ok := persisted[key]; ok {
+				t.Errorf("OnComplete fired twice for %s (prev %q)", key, prev)
+			}
+			persisted[key] = append([]byte(nil), result...)
+		},
+	})
+	specs := make(map[string]CellSpec, cells)
+	for i := 0; i < cells; i++ {
+		s := CellSpec{Workload: fmt.Sprintf("w%d", i), Scheme: "tps", Refs: uint64(1000 + i)}
+		key := fmt.Sprintf("cell-%02d", i)
+		specs[key] = s
+		coord.Add(key, s)
+	}
+
+	srv := httptest.NewServer(coord.Handler())
+	defer srv.Close()
+
+	rates := TransportRates{Drop: 0.10, DropAfter: 0.08, Duplicate: 0.10, Truncate: 0.08, Delay: 0.15}
+	transports := make([]*FaultyTransport, workers)
+	ctx, cancel := context.WithTimeout(context.Background(), 60*time.Second)
+	defer cancel()
+
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		ft := NewFaultyTransport(srv.Client().Transport, int64(w+1), rates)
+		ft.MaxDelay = 2 * time.Millisecond
+		transports[w] = ft
+		wg.Add(1)
+		go func(w int, ft *FaultyTransport) {
+			defer wg.Done()
+			client := &Client{
+				Base:     srv.URL,
+				Worker:   fmt.Sprintf("chaos-%d", w),
+				HTTP:     &http.Client{Transport: ft, Timeout: 10 * time.Second},
+				Attempts: 20,
+				Backoff:  Backoff{Base: time.Millisecond, Cap: 5 * time.Millisecond},
+			}
+			for ctx.Err() == nil {
+				lease, done, _, err := client.Lease(ctx)
+				if err != nil {
+					t.Errorf("worker %d: lease: %v", w, err)
+					return
+				}
+				if done {
+					return
+				}
+				if lease == nil {
+					time.Sleep(time.Millisecond)
+					continue
+				}
+				if _, err := client.Complete(ctx, lease, golden(lease.Spec), ""); err != nil {
+					t.Errorf("worker %d: complete %s: %v", w, lease.Key, err)
+					return
+				}
+			}
+		}(w, ft)
+	}
+	wg.Wait()
+
+	if !coord.Done() {
+		t.Fatal("fleet did not drain")
+	}
+	for key, spec := range specs {
+		got, err := coord.WaitResult(ctx, key)
+		if err != nil {
+			t.Fatalf("cell %s: %v", key, err)
+		}
+		if want := golden(spec); string(got) != string(want) {
+			t.Fatalf("cell %s: got %q, want %q — chaos changed the answer", key, got, want)
+		}
+		mu.Lock()
+		p := persisted[key]
+		mu.Unlock()
+		if string(p) != string(golden(spec)) {
+			t.Fatalf("cell %s: persisted %q diverges from settled result", key, p)
+		}
+	}
+
+	s := coord.Snapshot()
+	if s.CellsDone != cells || s.Completions != cells {
+		t.Fatalf("done=%d completions=%d, want %d/%d (duplicates must not double-count)",
+			s.CellsDone, s.Completions, cells, cells)
+	}
+	if len(s.Workers) != workers {
+		t.Fatalf("fleet snapshot has %d workers, want %d", len(s.Workers), workers)
+	}
+
+	// Every fault mode must actually have fired, fleet-wide — otherwise
+	// this test is vacuously green.
+	var drops, dropAfters, dups, truncs, delays int64
+	for _, ft := range transports {
+		drops += ft.Drops.Load()
+		dropAfters += ft.DropAfters.Load()
+		dups += ft.Duplicates.Load()
+		truncs += ft.Truncates.Load()
+		delays += ft.Delays.Load()
+	}
+	t.Logf("faults fired: drop=%d drop-after=%d duplicate=%d truncate=%d delay=%d; server dedup: duplicates=%d",
+		drops, dropAfters, dups, truncs, delays, s.Duplicates)
+	for name, n := range map[string]int64{
+		"drop": drops, "drop-after": dropAfters, "duplicate": dups,
+		"truncate": truncs, "delay": delays,
+	} {
+		if n == 0 {
+			t.Errorf("fault mode %q never fired; raise rates or cell count", name)
+		}
+	}
+}

@@ -1,0 +1,154 @@
+package fabric
+
+import (
+	"bytes"
+	"errors"
+	"io"
+	"math/rand"
+	"net/http"
+	"sync"
+	"sync/atomic"
+	"time"
+)
+
+// ErrInjectedDrop is the transport failure FaultyTransport injects for
+// dropped exchanges.
+var ErrInjectedDrop = errors.New("fabric: injected network drop")
+
+// TransportRates configures FaultyTransport's misbehavior as independent
+// probabilities per exchange, mirroring store.FaultRates' injector
+// pattern. Delay is rolled separately; the four failure modes are
+// evaluated in order (drop, drop-after, duplicate, truncate) against one
+// roll, and their sum must be <= 1 — the remainder passes through clean.
+type TransportRates struct {
+	// Drop fails the exchange before the request is sent (connection
+	// refused, unreachable host).
+	Drop float64
+	// DropAfter delivers the request but loses the response — the case
+	// that makes at-least-once delivery (and thus completion dedup)
+	// mandatory: the server acted, the client must retry blind.
+	DropAfter float64
+	// Duplicate sends the request twice and returns the second response —
+	// at-least-once delivery from an overeager retry layer.
+	Duplicate float64
+	// Truncate delivers only a prefix of the response body, exercising
+	// the client's strict-decode-then-retry path.
+	Truncate float64
+	// Delay stalls the exchange by up to MaxDelay before sending.
+	Delay float64
+}
+
+// FaultyTransport wraps an http.RoundTripper with deterministic, seeded
+// fault injection: the network half of the chaos harness, proving the
+// fleet's exactness claims hold when requests vanish, arrive twice, stall,
+// or come back mangled. Per-mode counters record what actually fired so
+// tests can assert each path was exercised.
+type FaultyTransport struct {
+	Inner    http.RoundTripper // nil: http.DefaultTransport
+	MaxDelay time.Duration     // Delay upper bound; <= 0 means 50 ms
+
+	rates TransportRates
+	mu    sync.Mutex
+	rng   *rand.Rand
+
+	Drops      atomic.Int64
+	DropAfters atomic.Int64
+	Duplicates atomic.Int64
+	Truncates  atomic.Int64
+	Delays     atomic.Int64
+}
+
+// NewFaultyTransport wraps inner (nil for the default transport); the
+// seed makes a run's fault schedule reproducible.
+func NewFaultyTransport(inner http.RoundTripper, seed int64, rates TransportRates) *FaultyTransport {
+	return &FaultyTransport{Inner: inner, rates: rates, rng: rand.New(rand.NewSource(seed))}
+}
+
+func (t *FaultyTransport) inner() http.RoundTripper {
+	if t.Inner != nil {
+		return t.Inner
+	}
+	return http.DefaultTransport
+}
+
+// RoundTrip rolls the fault dice and misbehaves accordingly. Request
+// bodies are buffered up front (protocol bodies are small JSON) so drops
+// and duplicates can replay them.
+func (t *FaultyTransport) RoundTrip(req *http.Request) (*http.Response, error) {
+	t.mu.Lock()
+	roll := t.rng.Float64()
+	delayRoll := t.rng.Float64()
+	delayFrac := t.rng.Float64()
+	t.mu.Unlock()
+
+	var body []byte
+	if req.Body != nil {
+		var err error
+		body, err = io.ReadAll(req.Body)
+		req.Body.Close()
+		if err != nil {
+			return nil, err
+		}
+	}
+	fresh := func() *http.Request {
+		r := req.Clone(req.Context())
+		if body != nil {
+			r.Body = io.NopCloser(bytes.NewReader(body))
+			r.ContentLength = int64(len(body))
+		}
+		return r
+	}
+
+	if delayRoll < t.rates.Delay {
+		t.Delays.Add(1)
+		max := t.MaxDelay
+		if max <= 0 {
+			max = 50 * time.Millisecond
+		}
+		d := time.Duration(delayFrac * float64(max))
+		select {
+		case <-time.After(d):
+		case <-req.Context().Done():
+			return nil, req.Context().Err()
+		}
+	}
+
+	r := t.rates
+	switch {
+	case roll < r.Drop:
+		t.Drops.Add(1)
+		return nil, ErrInjectedDrop
+	case roll < r.Drop+r.DropAfter:
+		t.DropAfters.Add(1)
+		if resp, err := t.inner().RoundTrip(fresh()); err == nil {
+			io.Copy(io.Discard, resp.Body)
+			resp.Body.Close()
+		}
+		return nil, ErrInjectedDrop
+	case roll < r.Drop+r.DropAfter+r.Duplicate:
+		t.Duplicates.Add(1)
+		if resp, err := t.inner().RoundTrip(fresh()); err == nil {
+			io.Copy(io.Discard, resp.Body)
+			resp.Body.Close()
+		}
+		return t.inner().RoundTrip(fresh())
+	case roll < r.Drop+r.DropAfter+r.Duplicate+r.Truncate:
+		resp, err := t.inner().RoundTrip(fresh())
+		if err != nil {
+			return nil, err
+		}
+		full, err := io.ReadAll(resp.Body)
+		resp.Body.Close()
+		if err != nil {
+			return nil, err
+		}
+		t.Truncates.Add(1)
+		cut := full[:len(full)/2]
+		resp.Body = io.NopCloser(bytes.NewReader(cut))
+		resp.ContentLength = int64(len(cut))
+		resp.Header.Del("Content-Length")
+		return resp, nil
+	default:
+		return t.inner().RoundTrip(fresh())
+	}
+}

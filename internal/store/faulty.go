@@ -10,13 +10,26 @@ import (
 // ErrInjectedWrite is the failure Faulty injects in place of a write.
 var ErrInjectedWrite = errors.New("store: injected write failure")
 
+// ErrInjectedRead is the failure Faulty injects in place of a read.
+var ErrInjectedRead = errors.New("store: injected read failure")
+
 // FaultRates configures Faulty's misbehavior as independent
-// probabilities per Put, evaluated in order: fail, torn, flip. Their sum
-// must be <= 1; the remainder of the probability mass writes cleanly.
+// probabilities, evaluated in declaration order per side. The write-side
+// rates (fail, torn, flip) roll per Put and the read-side rates (error,
+// stale, torn) per Get; each side's sum must be <= 1, with the remainder
+// of the probability mass behaving cleanly. Read-side faults exist so
+// consumers that *ingest* store contents — the engine's replay path, the
+// fabric coordinator's resume seeding — can be fault-injected
+// symmetrically with writers: a flaky read must degrade to a recompute,
+// never to wrong numbers.
 type FaultRates struct {
 	WriteFail float64 // Put returns ErrInjectedWrite; nothing is written
 	TornWrite float64 // only a prefix of the entry reaches disk
 	BitFlip   float64 // one entry bit is flipped after checksumming
+
+	ReadError float64 // Get returns ErrInjectedRead (I/O failure)
+	StaleRead float64 // Get reports a miss even if the entry exists (lagging shared storage)
+	TornRead  float64 // Get returns only a prefix of the payload (a racing reader seeing a partial view)
 }
 
 // Faulty wraps a Store with deterministic, seeded fault injection. It
@@ -35,6 +48,10 @@ type Faulty struct {
 	Fails atomic.Int64
 	Torn  atomic.Int64
 	Flips atomic.Int64
+
+	ReadErrs  atomic.Int64
+	Stales    atomic.Int64
+	TornReads atomic.Int64
 }
 
 // NewFaulty wraps the store; the seed makes a test's fault schedule
@@ -43,8 +60,36 @@ func NewFaulty(inner *Store, seed int64, rates FaultRates) *Faulty {
 	return &Faulty{inner: inner, rates: rates, rng: rand.New(rand.NewSource(seed))}
 }
 
-// Get passes through: read-side faults are planted by the write side.
-func (f *Faulty) Get(key string) ([]byte, bool, error) { return f.inner.Get(key) }
+// Get rolls the read-side fault dice: an injected I/O error, a stale
+// (spuriously missing) read, a torn payload — or a clean pass-through.
+// Torn reads truncate *after* the store's envelope validation, modeling a
+// reader racing a writer on storage without our atomic-rename guarantees:
+// the bytes are plausible but incomplete, which is exactly what strict
+// result decoding must catch and turn into a recompute.
+func (f *Faulty) Get(key string) ([]byte, bool, error) {
+	f.mu.Lock()
+	roll := f.rng.Float64()
+	f.mu.Unlock()
+
+	r := f.rates
+	switch {
+	case roll < r.ReadError:
+		f.ReadErrs.Add(1)
+		return nil, false, ErrInjectedRead
+	case roll < r.ReadError+r.StaleRead:
+		f.Stales.Add(1)
+		return nil, false, nil
+	case roll < r.ReadError+r.StaleRead+r.TornRead:
+		data, ok, err := f.inner.Get(key)
+		if err != nil || !ok {
+			return data, ok, err
+		}
+		f.TornReads.Add(1)
+		return data[:len(data)/2], true, nil
+	default:
+		return f.inner.Get(key)
+	}
+}
 
 // Put rolls the fault dice, then either fails outright, plants a corrupt
 // entry (torn prefix or flipped bit) through the store's atomic write

@@ -1,6 +1,7 @@
 package store
 
 import (
+	"encoding/json"
 	"bytes"
 	"fmt"
 	"os"
@@ -187,4 +188,115 @@ func TestFaultyAllPathsFire(t *testing.T) {
 	if q, want := s.Quarantined(), int(f.Torn.Load()+f.Flips.Load()); q != want {
 		t.Errorf("Quarantined=%d, injected corruptions=%d", q, want)
 	}
+}
+
+func TestFaultyReadErrorPath(t *testing.T) {
+	s := openT(t)
+	key := KeyOf("cell")
+	if err := s.Put(key, []byte(`{"a":1}`)); err != nil {
+		t.Fatal(err)
+	}
+	f := NewFaulty(s, 1, FaultRates{ReadError: 1})
+	if _, ok, err := f.Get(key); ok || err != ErrInjectedRead {
+		t.Fatalf("Get = ok=%v err=%v, want injected read error", ok, err)
+	}
+	if f.ReadErrs.Load() == 0 {
+		t.Fatal("ReadErrs counter silent")
+	}
+}
+
+func TestFaultyStaleReadPath(t *testing.T) {
+	s := openT(t)
+	key := KeyOf("cell")
+	payload := []byte(`{"a":1}`)
+	if err := s.Put(key, payload); err != nil {
+		t.Fatal(err)
+	}
+	f := NewFaulty(s, 1, FaultRates{StaleRead: 1})
+	// A stale read is a spurious miss: no error, no data — the caller
+	// recomputes. The entry itself is untouched.
+	if data, ok, err := f.Get(key); ok || err != nil || data != nil {
+		t.Fatalf("stale Get = %q ok=%v err=%v, want clean miss", data, ok, err)
+	}
+	if f.Stales.Load() == 0 {
+		t.Fatal("Stales counter silent")
+	}
+	if got, ok, err := s.Get(key); err != nil || !ok || !bytes.Equal(got, payload) {
+		t.Fatalf("underlying entry damaged by stale read: %q ok=%v err=%v", got, ok, err)
+	}
+}
+
+func TestFaultyTornReadPath(t *testing.T) {
+	s := openT(t)
+	key := KeyOf("cell")
+	payload := []byte(`{"answer":42,"padding":"xxxxxxxxxxxxxxxx"}`)
+	if err := s.Put(key, payload); err != nil {
+		t.Fatal(err)
+	}
+	f := NewFaulty(s, 1, FaultRates{TornRead: 1})
+	data, ok, err := f.Get(key)
+	if err != nil || !ok {
+		t.Fatalf("torn Get: ok=%v err=%v", ok, err)
+	}
+	if len(data) >= len(payload) {
+		t.Fatalf("torn read returned %d bytes, want a strict prefix of %d", len(data), len(payload))
+	}
+	if !bytes.Equal(data, payload[:len(data)]) {
+		t.Fatalf("torn read is not a prefix: %q", data)
+	}
+	if f.TornReads.Load() == 0 {
+		t.Fatal("TornReads counter silent")
+	}
+	// A torn read on a miss stays a miss (nothing to tear).
+	if _, ok, err := f.Get(KeyOf("absent")); ok || err != nil {
+		t.Fatalf("torn read invented an entry: ok=%v err=%v", ok, err)
+	}
+}
+
+func TestFaultyReadPathsDegradeToRecompute(t *testing.T) {
+	// The consumer contract: every read-side fault must look like either a
+	// miss or a decode failure — degradation to recompute, never a wrong
+	// payload delivered as truth. JSON truncation is detectable because
+	// the payload no longer parses; that is what the fabric coordinator's
+	// Validate hook and the engine's strict decode both check.
+	s := openT(t)
+	f := NewFaulty(s, 99, FaultRates{ReadError: 0.2, StaleRead: 0.2, TornRead: 0.2})
+	const n = 100
+	for i := 0; i < n; i++ {
+		key := KeyOf(fmt.Sprintf("cell-%d", i))
+		if err := f.Put(key, []byte(fmt.Sprintf(`{"cell":%d,"pad":"xxxxxxxx"}`, i))); err != nil {
+			t.Fatal(err)
+		}
+	}
+	intact := 0
+	for i := 0; i < n; i++ {
+		key := KeyOf(fmt.Sprintf("cell-%d", i))
+		data, ok, err := f.Get(key)
+		switch {
+		case err != nil:
+			// Injected I/O failure: recompute.
+		case !ok:
+			// Stale miss: recompute.
+		case bytes.Equal(data, []byte(fmt.Sprintf(`{"cell":%d,"pad":"xxxxxxxx"}`, i))):
+			intact++
+		default:
+			// Torn: must fail strict decoding, never parse as valid JSON.
+			var v map[string]any
+			if jsonValid(data, &v) {
+				t.Fatalf("torn payload %q still parses — undetectable corruption", data)
+			}
+		}
+	}
+	if intact == 0 {
+		t.Fatal("no clean reads at 60% fault mass — rates miswired")
+	}
+	if f.ReadErrs.Load() == 0 || f.Stales.Load() == 0 || f.TornReads.Load() == 0 {
+		t.Fatalf("read fault paths silent: err=%d stale=%d torn=%d",
+			f.ReadErrs.Load(), f.Stales.Load(), f.TornReads.Load())
+	}
+}
+
+// jsonValid reports whether data strictly decodes into v.
+func jsonValid(data []byte, v any) bool {
+	return json.Unmarshal(data, v) == nil
 }

@@ -3,6 +3,7 @@ package telemetry
 import (
 	"encoding/json"
 	"expvar"
+	"net"
 	"net/http"
 	"net/http/pprof"
 	"sync/atomic"
@@ -21,6 +22,28 @@ func publishExpvar() {
 	if published.CompareAndSwap(false, true) {
 		expvar.Publish("tps", expvar.Func(func() any { return current.Load().Snapshot() }))
 	}
+}
+
+// Serve binds addr and serves Handler(r) on it in the background,
+// returning the bound address (useful with ":0") and a shutdown func.
+//
+// It degrades gracefully: a failed bind — the port already in use, the
+// address unroutable — reports one warning through warnf and returns
+// ("", no-op). Observability must never abort an experiment: the policy
+// for every consumer (cmd/figures -listen, cmd/tpsworker's metrics
+// endpoint) is a single diagnostic line and a run that proceeds without
+// the endpoint, not a dead sweep over a busy port.
+func Serve(addr string, r *Recorder, warnf func(format string, args ...any)) (string, func()) {
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		if warnf != nil {
+			warnf("telemetry: metrics endpoint unavailable on %s, continuing without it: %v", addr, err)
+		}
+		return "", func() {}
+	}
+	srv := &http.Server{Handler: Handler(r)}
+	go srv.Serve(ln)
+	return ln.Addr().String(), func() { srv.Close() }
 }
 
 // Handler serves the live view of a running sweep on its own mux, so

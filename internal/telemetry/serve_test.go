@@ -1,0 +1,59 @@
+package telemetry
+
+import (
+	"fmt"
+	"io"
+	"net"
+	"net/http"
+	"strings"
+	"testing"
+)
+
+func TestServeBindsAndServesMetrics(t *testing.T) {
+	r := New()
+	addr, shutdown := Serve("127.0.0.1:0", r, func(format string, args ...any) {
+		t.Errorf("unexpected warning: "+format, args...)
+	})
+	defer shutdown()
+	if addr == "" {
+		t.Fatal("Serve returned no address for a bindable listen spec")
+	}
+	resp, err := http.Get("http://" + addr + "/metrics")
+	if err != nil {
+		t.Fatal(err)
+	}
+	body, _ := io.ReadAll(resp.Body)
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusOK || !strings.Contains(string(body), "uptime_s") {
+		t.Fatalf("GET /metrics: %s %q", resp.Status, body)
+	}
+}
+
+// TestServeDegradesGracefullyOnBindFailure is the satellite contract: a
+// metrics endpoint that cannot bind warns once and the run continues —
+// the endpoint is a view, never a dependency.
+func TestServeDegradesGracefullyOnBindFailure(t *testing.T) {
+	// Occupy a port, then ask Serve for it.
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer ln.Close()
+
+	warnings := 0
+	var msg string
+	addr, shutdown := Serve(ln.Addr().String(), New(), func(format string, args ...any) {
+		warnings++
+		msg = fmt.Sprintf(format, args...)
+	})
+	if addr != "" {
+		t.Fatalf("Serve claimed to bind %s over an occupied port", addr)
+	}
+	if warnings != 1 {
+		t.Fatalf("got %d warnings, want exactly 1", warnings)
+	}
+	if !strings.Contains(msg, "continuing without it") {
+		t.Fatalf("warning does not state the degradation: %q", msg)
+	}
+	shutdown() // must be a safe no-op
+}

@@ -1,0 +1,111 @@
+#!/usr/bin/env bash
+# Fleet chaos proof, end to end: a cross-host sweep must survive a worker
+# SIGKILLed mid-run and fault-injected HTTP on every worker, and still
+# print a table byte-identical to the serial run. Concretely:
+#
+#  1. A serial `figures -schemes ...` run produces the golden table.
+#  2. A tpsfarm coordinator with a short lease TTL serves the same grid
+#     to three tpsworkers, each injecting faults (drops, lost responses,
+#     duplicated requests, truncated bodies, delays) into its own HTTP
+#     exchanges. One worker is SIGKILLed mid-sweep: its leases expire and
+#     re-dispatch; duplicated completion RPCs dedupe by fingerprint.
+#     The farm's stdout must equal the serial golden, byte for byte.
+#  3. The fleet /metrics snapshot is jq-validated mid-run for schema and
+#     internal consistency.
+#  4. A restarted coordinator pointed at the same store — with no workers
+#     at all — resumes every cell from store contents and prints the same
+#     bytes again: the coordinator-crash recovery path.
+#
+#   scripts/chaos_farm.sh
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+refs=20000
+suite=gcc,leela
+schemes=base4k,thp,tps
+chaos=0.10   # >= 5% of HTTP exchanges fault-injected, per mode
+workdir="$(mktemp -d)"
+pids=()
+cleanup() {
+    for pid in "${pids[@]:-}"; do kill -KILL "$pid" 2>/dev/null || true; done
+    rm -rf "$workdir"
+}
+trap cleanup EXIT
+
+go build -o "$workdir/figures" ./cmd/figures
+go build -o "$workdir/tpsfarm" ./cmd/tpsfarm
+go build -o "$workdir/tpsworker" ./cmd/tpsworker
+
+# --- 1. Serial golden. --------------------------------------------------
+
+"$workdir/figures" -schemes "$schemes" -refs "$refs" -suite "$suite" \
+    -progress=false > "$workdir/golden.out"
+
+# --- 2. Chaotic fleet run: 3 faulty workers, one SIGKILLed. -------------
+
+# Short TTL so the killed worker's leases re-dispatch quickly.
+"$workdir/tpsfarm" -schemes "$schemes" -refs "$refs" -suite "$suite" \
+    -listen 127.0.0.1:0 -store "$workdir/cells" -ttl 2s -progress=false \
+    > "$workdir/farm.out" 2>"$workdir/farm.err" &
+farm=$!
+pids+=("$farm")
+
+addr=""
+for _ in $(seq 1 100); do
+    addr="$(sed -n 's#.*serving fabric on http://\([^/]*\)/.*#\1#p' "$workdir/farm.err")"
+    [ -n "$addr" ] && break
+    kill -0 "$farm" 2>/dev/null || { cat "$workdir/farm.err" >&2; exit 1; }
+    sleep 0.1
+done
+[ -n "$addr" ] || { echo "tpsfarm never announced its fabric address" >&2; exit 1; }
+
+workers=()
+for k in 1 2 3; do
+    "$workdir/tpsworker" -farm "http://$addr" -name "chaos-$k" -parallel 2 \
+        -store "$workdir/cells" -chaos-http "$chaos" -chaos-seed "$k" \
+        2>"$workdir/worker$k.err" &
+    workers+=("$!")
+    pids+=("$!")
+done
+
+# The fleet /metrics snapshot is live and schema-valid mid-run.
+curl -fsS "http://$addr/metrics" > "$workdir/snap.json"
+jq -e '
+    .cells_total > 0
+    and .cells_done + .cells_failed + .cells_leased + .cells_pending == .cells_total
+    and .completions >= 0 and .duplicates >= 0 and .expirations >= 0
+    and (.workers | type == "array")
+    and all(.workers[]; .name != "" and has("granted") and has("completed")
+            and (.stats | has("refs_total")))' \
+    "$workdir/snap.json" > /dev/null
+echo "fleet metrics: $(jq -c '{total: .cells_total, done: .cells_done, workers: (.workers | length)}' "$workdir/snap.json") at $addr" >&2
+
+# SIGKILL one worker mid-sweep: no goodbye, no completion — its leases
+# must expire and re-dispatch to the survivors.
+sleep 0.7
+kill -KILL "${workers[0]}" 2>/dev/null || true  # may have finished on a fast machine
+wait "${workers[0]}" 2>/dev/null || true
+echo "worker chaos-1 SIGKILLed mid-sweep" >&2
+
+rc=0; wait "$farm" || rc=$?
+[ "$rc" -eq 0 ] || { echo "tpsfarm exited $rc" >&2; cat "$workdir/farm.err" >&2; exit 1; }
+# Survivors that did not catch the fleet-done response before the
+# coordinator exited would otherwise retry for their -patience window.
+for w in "${workers[@]:1}"; do kill -TERM "$w" 2>/dev/null || true; done
+for w in "${workers[@]:1}"; do wait "$w" 2>/dev/null || true; done
+
+cmp "$workdir/golden.out" "$workdir/farm.out" || {
+    echo "fleet output diverged from serial golden" >&2; exit 1; }
+echo "fleet output byte-identical to serial golden through chaos" >&2
+grep -Eo '[0-9]+ duplicates deduped, [0-9]+ expirations' "$workdir/farm.err" >&2 || true
+
+# --- 3. Coordinator-restart resume: same store, zero workers. -----------
+
+"$workdir/tpsfarm" -schemes "$schemes" -refs "$refs" -suite "$suite" \
+    -listen 127.0.0.1:0 -store "$workdir/cells" -progress=false \
+    > "$workdir/resumed.out" 2>"$workdir/resume.err"
+grep -q "resuming with" "$workdir/resume.err" || {
+    echo "restarted coordinator did not seed from store" >&2; exit 1; }
+cmp "$workdir/golden.out" "$workdir/resumed.out" || {
+    echo "resumed output diverged from serial golden" >&2; exit 1; }
+echo "chaos farm proof: SIGKILL + ${chaos} HTTP faults survived, resume exact" >&2
