@@ -55,6 +55,8 @@ import (
 	"tps"
 	"tps/internal/store"
 	"tps/internal/telemetry"
+	"tps/internal/telemetry/series"
+	"tps/internal/telemetry/span"
 )
 
 func main() {
@@ -84,6 +86,9 @@ func run() (code int) {
 		cellTO     = flag.Duration("cell-timeout", 0, "per-cell deadline (0 = none); an overrunning cell fails its figure, not the process")
 		retries    = flag.Int("retries", 0, "re-run a transiently failing cell up to N times under capped exponential backoff")
 		events     = flag.String("events", "", "append structured per-cell lifecycle events (JSONL) to this file")
+		seriesOut  = flag.String("series", "", "append epoch-sampled per-cell counter time-series (JSONL) to this file")
+		seriesN    = flag.Uint64("series-every", 0, "with -series: sample every N references (0 = the 1M default)")
+		spansOut   = flag.String("spans", "", "write the run's span trace (JSONL: run + one span per cell) to this file at exit")
 		listen     = flag.String("listen", "", "serve live metrics (/metrics) and pprof (/debug/pprof/) on this address while running")
 		manifest   = flag.String("manifest", "", "write an atomic run manifest (config, per-cell wall clock, exit status) to this file at exit")
 	)
@@ -145,6 +150,41 @@ func run() (code int) {
 		// so a tail -f (or a crash) only ever sees whole lines.
 		rec.LogTo(telemetry.NewEventLog(f))
 	}
+	var seriesLog *series.Log
+	if *seriesOut != "" {
+		f, err := os.OpenFile(*seriesOut, os.O_WRONLY|os.O_CREATE|os.O_APPEND, 0o644)
+		if err != nil {
+			return fail(err)
+		}
+		defer f.Close()
+		// Same atomic-line discipline as -events: each cell's series is
+		// one Write, so concurrent cells never interleave records.
+		seriesLog = series.NewLog(f)
+		defer func() {
+			if err := seriesLog.Err(); err != nil {
+				fmt.Fprintf(os.Stderr, "figures: series log: %v\n", err)
+				if code == 0 {
+					code = 1
+				}
+			}
+		}()
+	}
+	if *spansOut != "" {
+		// The trace is synthesized from the recorder's per-cell timeline
+		// at exit, on every exit path — an interrupted sweep still leaves
+		// a trace of what ran.
+		defer func() {
+			f, err := os.Create(*spansOut)
+			if err != nil {
+				code = fail(err)
+				return
+			}
+			defer f.Close()
+			if err := span.WriteAll(f, rec.Trace("figures")); err != nil {
+				code = fail(err)
+			}
+		}()
+	}
 	if *listen != "" {
 		// A failed bind (port in use) costs one warning, never the run:
 		// the sweep proceeds without its live view.
@@ -161,6 +201,7 @@ func run() (code int) {
 		Refs: *refs, Seed: *seed, Parallelism: *parallel, Shards: *shards,
 		Context: ctx, CellTimeout: *cellTO, Retries: *retries,
 		Telemetry: rec,
+		Series:    seriesLog, SeriesEvery: *seriesN,
 	}
 	if *progress {
 		cfg.Progress = os.Stderr

@@ -46,6 +46,8 @@ import (
 	"tps"
 	"tps/internal/fabric"
 	"tps/internal/store"
+	"tps/internal/telemetry"
+	"tps/internal/telemetry/span"
 )
 
 func main() {
@@ -65,6 +67,8 @@ func run() int {
 		speculate   = flag.Duration("speculate", 0, "re-issue an in-flight cell to an idle worker after this lease age (0 = 3×ttl, <0 disables)")
 		maxFailures = flag.Int("max-failures", 3, "settle a cell as failed after this many worker-side errors")
 		progress    = flag.Bool("progress", true, "stream table rows to stderr as their cells land fleet-wide")
+		events      = flag.String("events", "", "append lease-protocol lifecycle events (JSONL) here; each line carries the worker involved (origin) and the lease generation")
+		traceOut    = flag.String("trace", "", "write the assembled run-wide span trace (JSONL; coordinator lease spans + worker attempt/shard spans) to this file at exit")
 	)
 	flag.Parse()
 
@@ -118,10 +122,41 @@ func run() int {
 		}
 	}
 
+	// The events stream mirrors the coordinator's lease protocol as the
+	// same JSONL schema the workers and the engine emit, so one tpsreport
+	// invocation can interleave cell lifecycle and lease grants/expiries
+	// in emission order. The hook runs under the coordinator lock; Emit
+	// is one marshal and one write, which keeps it cheap enough.
+	var onEvent func(fabric.LeaseEvent)
+	if *events != "" {
+		f, err := os.OpenFile(*events, os.O_APPEND|os.O_CREATE|os.O_WRONLY, 0o644)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "tpsfarm: cannot open events file: %v\n", err)
+			return 2
+		}
+		defer f.Close()
+		elog := telemetry.NewEventLog(f)
+		epoch := time.Now()
+		onEvent = func(ev fabric.LeaseEvent) {
+			elog.Emit(telemetry.Event{
+				TNS:      time.Since(epoch).Nanoseconds(),
+				Event:    "lease-" + ev.Kind,
+				Cell:     ev.Key,
+				Workload: ev.Spec.Workload,
+				Scheme:   ev.Spec.Scheme,
+				Worker:   -1,
+				Origin:   ev.Worker,
+				Gen:      ev.Gen,
+				Error:    ev.Err,
+			})
+		}
+	}
+
 	coord := fabric.New(fabric.Config{
 		TTL:            *ttl,
 		SpeculateAfter: *speculate,
 		MaxFailures:    *maxFailures,
+		OnEvent:        onEvent,
 		Validate: func(data []byte) error {
 			_, err := tps.DecodeResult(data)
 			return err
@@ -137,6 +172,23 @@ func run() int {
 			fmt.Fprintf(os.Stderr, "tpsfarm: "+format+"\n", args...)
 		},
 	})
+	if *traceOut != "" {
+		// Written on every exit path: an interrupted sweep still leaves
+		// spans for everything that was granted, completed, or expired
+		// up to the kill — including worker-side attempt/shard spans
+		// collected with completions.
+		defer func() {
+			f, err := os.Create(*traceOut)
+			if err != nil {
+				fmt.Fprintf(os.Stderr, "tpsfarm: cannot write trace: %v\n", err)
+				return
+			}
+			defer f.Close()
+			if err := span.WriteAll(f, coord.Trace()); err != nil {
+				fmt.Fprintf(os.Stderr, "tpsfarm: trace write failed: %v\n", err)
+			}
+		}()
+	}
 	seeded := 0
 	for i, spec := range specs {
 		if st != nil {

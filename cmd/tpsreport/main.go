@@ -1,27 +1,46 @@
-// Command tpsreport renders a figures -events JSONL file into the
-// post-run accounting a long sweep needs: a per-cell duration/status
-// table (slowest first), plus store-hit-rate, dedup, retry, and
-// quarantine summaries. It validates every line against the event schema
-// while reading — a malformed or unknown-field line is an error with its
-// line number, not a silent skip.
+// Command tpsreport renders observability files from figures / tpsfarm /
+// tpsworker runs into post-run accounting:
+//
+//   - An events JSONL file (figures -events, tpsworker -events, tpsfarm
+//     -events) becomes a per-cell duration/status table (slowest first)
+//     plus store-hit-rate, dedup, retry, and quarantine summaries.
+//   - A span trace (figures -spans, tpsfarm -trace) becomes a cell
+//     timeline, the run's critical path (run → latest-ending cell → its
+//     last attempt → its last shard), and straggler attribution — which
+//     workers' grants expired or were superseded, and how much wall
+//     clock the fleet lost to them.
+//
+// Every line is validated against its schema while reading: a malformed
+// or unknown-field line is an error with its 1-based line number, not a
+// silent skip. -strict=false downgrades that to skip-and-count on
+// stderr, for salvaging a file truncated by a crash mid-line.
 //
 // Usage:
 //
 //	figures -all -events run.jsonl
-//	tpsreport run.jsonl                # summary + 10 slowest cells
+//	tpsreport run.jsonl                    # summary + 10 slowest cells
 //	tpsreport -slowest 25 run.jsonl
-//	tpsreport -cells run.jsonl         # every settled cell, slowest first
+//	tpsreport -cells run.jsonl             # every settled cell, slowest first
+//
+//	tpsfarm ... -trace trace.jsonl
+//	tpsreport -spans trace.jsonl -timeline # gantt + critical path + stragglers
+//	tpsreport -spans trace.jsonl -chrome trace.json   # chrome://tracing
 package main
 
 import (
+	"bufio"
+	"bytes"
 	"flag"
 	"fmt"
+	"io"
 	"os"
 	"sort"
+	"strings"
 	"time"
 
 	"tps"
 	"tps/internal/telemetry"
+	"tps/internal/telemetry/span"
 )
 
 // cell accumulates one cell's lifecycle from its event stream.
@@ -46,22 +65,333 @@ func run() int {
 	var (
 		slowest  = flag.Int("slowest", 10, "how many slowest cells to list")
 		allCells = flag.Bool("cells", false, "list every settled cell instead of only the slowest")
+		strict   = flag.Bool("strict", true, "fail on the first malformed JSONL line with its line number; =false skips malformed lines and counts them on stderr")
+		spansIn  = flag.String("spans", "", "read a span trace (figures -spans, tpsfarm -trace) and render fleet views from it")
+		timeline = flag.Bool("timeline", false, "with -spans: render the cell timeline, critical path, and straggler attribution")
+		chrome   = flag.String("chrome", "", "with -spans: export the trace as Chrome trace_event JSON (chrome://tracing, Perfetto) to this file")
 	)
 	flag.Parse()
-	if flag.NArg() != 1 {
-		fmt.Fprintln(os.Stderr, "usage: tpsreport [-slowest N] [-cells] EVENTS.jsonl")
+	if *spansIn == "" && flag.NArg() != 1 {
+		fmt.Fprintln(os.Stderr, "usage: tpsreport [-slowest N] [-cells] [-strict=false] EVENTS.jsonl")
+		fmt.Fprintln(os.Stderr, "       tpsreport -spans TRACE.jsonl [-timeline] [-chrome OUT.json]")
 		return 2
 	}
-	f, err := os.Open(flag.Arg(0))
+	if (*timeline || *chrome != "") && *spansIn == "" {
+		fmt.Fprintln(os.Stderr, "tpsreport: -timeline and -chrome need -spans TRACE.jsonl")
+		return 2
+	}
+
+	if *spansIn != "" {
+		spans, code := loadSpans(*spansIn, *strict)
+		if code != 0 {
+			return code
+		}
+		if *chrome != "" {
+			f, err := os.Create(*chrome)
+			if err != nil {
+				fmt.Fprintf(os.Stderr, "tpsreport: %v\n", err)
+				return 1
+			}
+			err = span.ChromeTrace(f, spans)
+			if cerr := f.Close(); err == nil {
+				err = cerr
+			}
+			if err != nil {
+				fmt.Fprintf(os.Stderr, "tpsreport: chrome export: %v\n", err)
+				return 1
+			}
+			fmt.Fprintf(os.Stderr, "tpsreport: wrote %d spans to %s\n", len(spans), *chrome)
+		}
+		// A -spans invocation with no view selected defaults to the
+		// timeline — the file was given to be looked at.
+		if *timeline || *chrome == "" {
+			renderTimeline(spans)
+		}
+	}
+
+	if flag.NArg() == 1 {
+		return eventsReport(flag.Arg(0), *strict, *slowest, *allCells)
+	}
+	return 0
+}
+
+// loadSpans reads a span trace honoring -strict; the int is the exit
+// code (0 = ok).
+func loadSpans(path string, strict bool) ([]span.Span, int) {
+	f, err := os.Open(path)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "tpsreport: %v\n", err)
+		return nil, 1
+	}
+	defer f.Close()
+	if strict {
+		spans, err := span.ReadSpans(f)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "tpsreport: %s: %v\n", path, err)
+			return nil, 1
+		}
+		return spans, 0
+	}
+	var spans []span.Span
+	skipped, err := scanLenient(f, func(raw []byte) error {
+		s, err := span.ParseSpan(raw)
+		if err == nil {
+			spans = append(spans, s)
+		}
+		return err
+	})
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "tpsreport: %s: %v\n", path, err)
+		return nil, 1
+	}
+	if skipped > 0 {
+		fmt.Fprintf(os.Stderr, "tpsreport: %s: skipped %d malformed line(s)\n", path, skipped)
+	}
+	return spans, 0
+}
+
+// scanLenient feeds each nonblank line to parse, counting failures
+// instead of propagating them; only I/O errors are returned.
+func scanLenient(r io.Reader, parse func([]byte) error) (int, error) {
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 0, 64*1024), 1<<20)
+	skipped := 0
+	for sc.Scan() {
+		raw := bytes.TrimSpace(sc.Bytes())
+		if len(raw) == 0 {
+			continue
+		}
+		if parse(raw) != nil {
+			skipped++
+		}
+	}
+	return skipped, sc.Err()
+}
+
+// renderTimeline prints the fleet views of one span trace: a start-
+// ordered cell gantt, the run's critical path, and straggler
+// attribution from the coordinator's grant records. The "Critical path"
+// and "Straggler" headings always print, even over an empty or
+// cell-less trace, so scripted checks can anchor on them.
+func renderTimeline(spans []span.Span) {
+	var run *span.Span
+	var cells []span.Span
+	leases := map[string][]span.Span{}   // keyed by parent cell span ID
+	attempts := map[string][]span.Span{} // keyed by parent cell span ID
+	shards := map[string][]span.Span{}   // keyed by parent attempt span ID
+	for i := range spans {
+		s := spans[i]
+		switch s.Kind {
+		case span.KindRun:
+			if run == nil {
+				run = &spans[i]
+			}
+		case span.KindCell:
+			cells = append(cells, s)
+		case span.KindLease:
+			leases[s.Parent] = append(leases[s.Parent], s)
+		case span.KindAttempt:
+			attempts[s.Parent] = append(attempts[s.Parent], s)
+		case span.KindShard:
+			shards[s.Parent] = append(shards[s.Parent], s)
+		}
+	}
+	sort.Slice(cells, func(i, j int) bool {
+		if cells[i].StartNS != cells[j].StartNS {
+			return cells[i].StartNS < cells[j].StartNS
+		}
+		return cells[i].Name < cells[j].Name
+	})
+
+	// The render window: the run span when present, widened to the
+	// extent of whatever spans exist (cross-host skew can leak past it).
+	var t0, t1 int64
+	if run != nil {
+		t0, t1 = run.StartNS, run.EndNS
+	}
+	for _, s := range spans {
+		if t0 == 0 || (s.StartNS != 0 && s.StartNS < t0) {
+			t0 = s.StartNS
+		}
+		if s.EndNS > t1 {
+			t1 = s.EndNS
+		}
+	}
+
+	fmt.Printf("Timeline: %d cells over %s\n", len(cells), fmtDur(t1-t0))
+	const width = 40
+	for _, c := range cells {
+		end := effEnd(c, t1)
+		extra := ""
+		if n := len(leases[c.ID]); n > 1 {
+			extra = fmt.Sprintf(" (%d grants)", n)
+		}
+		fmt.Printf("  %-26s %-12s %9s  |%s|%s\n",
+			c.Name, c.Outcome, fmtDur(end-c.StartNS),
+			ganttBar(c.StartNS, end, t0, t1, width), extra)
+	}
+
+	fmt.Println()
+	fmt.Println("Critical path:")
+	if len(cells) == 0 {
+		fmt.Println("  (no cell spans)")
+	} else {
+		if run != nil {
+			fmt.Printf("  run      %-28s %9s\n", run.Name, fmtDur(run.EndNS-run.StartNS))
+		}
+		// The cell that ends last bounds the run's wall clock; inside
+		// it, the last-ending attempt, and inside that, the last shard.
+		last := cells[0]
+		for _, c := range cells[1:] {
+			if effEnd(c, t1) > effEnd(last, t1) {
+				last = c
+			}
+		}
+		fmt.Printf("  cell     %-28s %9s  +%s %s\n",
+			last.Name, fmtDur(effEnd(last, t1)-last.StartNS), fmtDur(last.StartNS-t0), last.Outcome)
+		if as := attempts[last.ID]; len(as) > 0 {
+			a := as[0]
+			for _, s := range as[1:] {
+				if effEnd(s, t1) > effEnd(a, t1) {
+					a = s
+				}
+			}
+			fmt.Printf("  attempt  on %-25s %9s  +%s gen %d\n",
+				a.Worker, fmtDur(effEnd(a, t1)-a.StartNS), fmtDur(a.StartNS-t0), a.Gen)
+			if ss := shards[a.ID]; len(ss) > 0 {
+				sh := ss[0]
+				for _, s := range ss[1:] {
+					if effEnd(s, t1) > effEnd(sh, t1) {
+						sh = s
+					}
+				}
+				fmt.Printf("  shard    %-28s %9s  +%s\n",
+					sh.Name, fmtDur(effEnd(sh, t1)-sh.StartNS), fmtDur(sh.StartNS-t0))
+			}
+		}
+	}
+
+	fmt.Println()
+	fmt.Println("Straggler attribution:")
+	var wasted int64
+	stragglers := 0
+	for _, c := range cells {
+		gs := append([]span.Span(nil), leases[c.ID]...)
+		interesting := len(gs) > 1
+		for _, g := range gs {
+			if g.Outcome == span.OutcomeExpired || g.Outcome == span.OutcomeSuperseded || g.Outcome == span.OutcomeFailed {
+				interesting = true
+			}
+		}
+		if !interesting {
+			continue
+		}
+		stragglers++
+		sort.Slice(gs, func(i, j int) bool { return gs[i].Gen < gs[j].Gen })
+		var lost int64
+		for _, g := range gs {
+			if g.Outcome != span.OutcomeCompleted && g.Outcome != span.OutcomeLive {
+				lost += effEnd(g, t1) - g.StartNS
+			}
+		}
+		wasted += lost
+		fmt.Printf("  %-26s %d grants, %s lost\n", c.Name, len(gs), fmtDur(lost))
+		for _, g := range gs {
+			fmt.Printf("      g%-3d %-18s %-12s %9s\n",
+				g.Gen, g.Worker, g.Outcome, fmtDur(effEnd(g, t1)-g.StartNS))
+		}
+	}
+	if stragglers == 0 {
+		fmt.Println("  none — every granted cell settled on its first grant")
+	} else {
+		fmt.Printf("  total: %d straggling cell(s), %s of abandoned grant time\n", stragglers, fmtDur(wasted))
+	}
+	fmt.Println()
+}
+
+// effEnd is a span's end, treating still-open spans as ending at the
+// trace horizon.
+func effEnd(s span.Span, horizon int64) int64 {
+	if s.EndNS == 0 {
+		return horizon
+	}
+	return s.EndNS
+}
+
+// ganttBar renders one span as a fixed-width bar inside [t0, t1]. The
+// fill is offset-scaled with a minimum of one cell, so even a
+// store-seeded zero-duration span is visible.
+func ganttBar(start, end, t0, t1 int64, width int) string {
+	b := []rune(strings.Repeat("·", width))
+	if t1 <= t0 {
+		return string(b)
+	}
+	scale := float64(width) / float64(t1-t0)
+	lo := int(float64(start-t0) * scale)
+	hi := int(float64(end-t0) * scale)
+	if lo < 0 {
+		lo = 0
+	}
+	if lo > width-1 {
+		lo = width - 1
+	}
+	if hi < lo {
+		hi = lo
+	}
+	if hi > width-1 {
+		hi = width - 1
+	}
+	for i := lo; i <= hi; i++ {
+		b[i] = '█'
+	}
+	return string(b)
+}
+
+// fmtDur rounds a nanosecond interval for the timeline tables.
+func fmtDur(ns int64) string {
+	if ns < 0 {
+		ns = 0
+	}
+	d := time.Duration(ns)
+	switch {
+	case d >= time.Second:
+		return d.Round(10 * time.Millisecond).String()
+	case d >= time.Millisecond:
+		return d.Round(10 * time.Microsecond).String()
+	}
+	return d.String()
+}
+
+// eventsReport renders the per-cell accounting of one events JSONL file.
+func eventsReport(path string, strict bool, slowest int, allCells bool) int {
+	f, err := os.Open(path)
 	if err != nil {
 		fmt.Fprintf(os.Stderr, "tpsreport: %v\n", err)
 		return 1
 	}
 	defer f.Close()
-	events, err := telemetry.ReadEvents(f)
-	if err != nil {
-		fmt.Fprintf(os.Stderr, "tpsreport: %s: %v\n", flag.Arg(0), err)
-		return 1
+	var events []telemetry.Event
+	if strict {
+		events, err = telemetry.ReadEvents(f)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "tpsreport: %s: %v\n", path, err)
+			return 1
+		}
+	} else {
+		skipped, err := scanLenient(f, func(raw []byte) error {
+			ev, perr := telemetry.ParseEvent(raw)
+			if perr == nil {
+				events = append(events, ev)
+			}
+			return perr
+		})
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "tpsreport: %s: %v\n", path, err)
+			return 1
+		}
+		if skipped > 0 {
+			fmt.Fprintf(os.Stderr, "tpsreport: %s: skipped %d malformed line(s)\n", path, skipped)
+		}
 	}
 	if len(events) == 0 {
 		fmt.Fprintln(os.Stderr, "tpsreport: no events")
@@ -83,7 +413,7 @@ func run() int {
 		}
 		return c
 	}
-	var dedup, quarantined int
+	var dedup, quarantined, leaseEvents int
 	var span int64
 	for _, ev := range events {
 		if ev.TNS > span {
@@ -108,6 +438,12 @@ func run() int {
 			c.err = ev.Error
 			if ev.Counters != nil {
 				c.refs = ev.Counters.Refs
+			}
+		default:
+			// Fleet lease-protocol events interleave in farm/worker
+			// files; they are counted, not per-cell lifecycle state.
+			if strings.HasPrefix(ev.Event, "lease-") {
+				leaseEvents++
 			}
 		}
 	}
@@ -138,7 +474,7 @@ func run() int {
 	})
 
 	sum := &tps.Table{
-		Title:  fmt.Sprintf("Run report: %s", flag.Arg(0)),
+		Title:  fmt.Sprintf("Run report: %s", path),
 		Header: []string{"metric", "value"},
 	}
 	sum.AddRow("events", fmt.Sprintf("%d", len(events)))
@@ -155,18 +491,21 @@ func run() int {
 	}
 	sum.AddRow("dedup joins", fmt.Sprintf("%d", dedup))
 	sum.AddRow("quarantined entries", fmt.Sprintf("%d", quarantined))
+	if leaseEvents > 0 {
+		sum.AddRow("lease events", fmt.Sprintf("%d", leaseEvents))
+	}
 	sum.AddRow("cell wall clock (sum)", wall.Round(time.Millisecond).String())
 	fmt.Println(sum.Render())
 
-	n := *slowest
-	if *allCells || n > len(settled) {
+	n := slowest
+	if allCells || n > len(settled) {
 		n = len(settled)
 	}
 	if n == 0 {
 		return 0
 	}
 	title := fmt.Sprintf("Slowest %d cells", n)
-	if *allCells {
+	if allCells {
 		title = "Settled cells (slowest first)"
 	}
 	tbl := &tps.Table{

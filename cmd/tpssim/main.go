@@ -19,6 +19,7 @@ import (
 	"tps"
 	"tps/internal/addr"
 	"tps/internal/fragstate"
+	"tps/internal/telemetry/series"
 )
 
 func main() {
@@ -33,6 +34,8 @@ func main() {
 		virt      = flag.Bool("virtualized", false, "two-dimensional nested page walks")
 		cyc       = flag.Bool("cycles", false, "enable the cycle model")
 		threshold = flag.Float64("threshold", 1.0, "TPS promotion utilization threshold")
+		seriesOut = flag.String("series", "", "write an epoch-sampled counter time-series (JSONL) to this file")
+		seriesN   = flag.Uint64("series-every", 0, "with -series: sample every N references (0 = the 1M default)")
 		list      = flag.Bool("list", false, "list workloads and exit")
 	)
 	flag.Parse()
@@ -74,11 +77,35 @@ func main() {
 	if *frag {
 		opts.PreFragment = fragstate.PreFragment(fragstate.DefaultParams())
 	}
+	var seriesLog *series.Log
+	if *seriesOut != "" {
+		f, err := os.Create(*seriesOut)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "cannot create series file: %v\n", err)
+			os.Exit(1)
+		}
+		defer f.Close()
+		seriesLog = series.NewLog(f)
+		opts.SeriesEvery = *seriesN
+		if opts.SeriesEvery == 0 {
+			opts.SeriesEvery = series.DefaultEvery
+		}
+		meta := series.Meta{Workload: w.Name, Scheme: setup.SchemeName(), Seed: *seed, Shards: 1}
+		opts.OnSeries = func(pts []series.Point, every uint64) {
+			seriesLog.WriteCell(meta, every, pts)
+		}
+	}
 
 	res, err := tps.Run(w, opts)
 	if err != nil {
 		fmt.Fprintf(os.Stderr, "simulation failed: %v\n", err)
 		os.Exit(1)
+	}
+	if seriesLog != nil {
+		if err := seriesLog.Err(); err != nil {
+			fmt.Fprintf(os.Stderr, "series log: %v\n", err)
+			os.Exit(1)
+		}
 	}
 	report(res)
 }

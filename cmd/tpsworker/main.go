@@ -48,6 +48,7 @@ import (
 	"tps/internal/fabric"
 	"tps/internal/store"
 	"tps/internal/telemetry"
+	"tps/internal/telemetry/span"
 )
 
 func main() {
@@ -62,6 +63,7 @@ func run() int {
 		storeDir  = flag.String("store", "", "persist finished cells to this (ideally shared) content-addressed store before completing")
 		retries   = flag.Int("retries", 2, "re-run a transiently failing cell up to N times under capped, jittered backoff before reporting failure")
 		listen    = flag.String("listen", "", "serve this worker's live metrics (/metrics, pprof) on this address; a failed bind warns and continues")
+		events    = flag.String("events", "", "append structured JSONL lifecycle events here; each line carries this worker's name (origin) and the lease generation")
 		patience  = flag.Duration("patience", 2*time.Minute, "keep retrying an unreachable coordinator this long before exiting")
 		chaosHTTP = flag.Float64("chaos-http", 0, "fault-inject this fraction of HTTP exchanges (per mode: drop, drop-after, duplicate, truncate; plus delays) — chaos testing only")
 		chaosSeed = flag.Int64("chaos-seed", 1, "seed for -chaos-http fault schedule")
@@ -84,6 +86,18 @@ func run() int {
 
 	rec := telemetry.New()
 	rec.ConfigureWorkers(*parallel)
+	rec.SetOrigin(*name)
+	if *events != "" {
+		// O_APPEND: many workers may share one events file on shared
+		// storage; EventLog's whole-line writes keep the stream parseable.
+		f, err := os.OpenFile(*events, os.O_APPEND|os.O_CREATE|os.O_WRONLY, 0o644)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "tpsworker: cannot open events file: %v\n", err)
+			return 2
+		}
+		defer f.Close()
+		rec.LogTo(telemetry.NewEventLog(f))
+	}
 	if *listen != "" {
 		// Same graceful-degradation policy as figures -listen: the
 		// metrics endpoint is a view, never a dependency.
@@ -227,6 +241,7 @@ func (w *worker) runLease(ctx context.Context, slot int, lease *fabric.Lease) {
 		Workload: lease.Spec.Workload,
 		Setup:    lease.Spec.Scheme,
 		Scheme:   lease.Spec.Scheme,
+		Gen:      lease.Generation,
 	}
 	w.rec.CellQueued(ci)
 	w.rec.CellStarted(ci, slot)
@@ -259,7 +274,7 @@ func (w *worker) runLease(ctx context.Context, slot int, lease *fabric.Lease) {
 	}()
 
 	start := time.Now()
-	res, err := w.computeWithRetries(ctx, slot, ci, lease.Spec)
+	res, spans, err := w.computeWithRetries(ctx, slot, ci, lease)
 	stopHB()
 	hbWG.Wait()
 	dur := time.Since(start)
@@ -302,7 +317,7 @@ func (w *worker) runLease(ctx context.Context, slot int, lease *fabric.Lease) {
 			})
 		}
 	}
-	if _, cerr := w.client.Complete(ctx, lease, raw, errmsg); cerr != nil && ctx.Err() == nil {
+	if _, cerr := w.client.CompleteSpans(ctx, lease, raw, errmsg, spans); cerr != nil && ctx.Err() == nil {
 		// Completion never landed. If the store took the result the work
 		// is safe; either way the coordinator re-dispatches on expiry.
 		fmt.Fprintf(os.Stderr, "tpsworker: completion for %s/%s not delivered: %v\n",
@@ -312,16 +327,57 @@ func (w *worker) runLease(ctx context.Context, slot int, lease *fabric.Lease) {
 
 // computeWithRetries mirrors the engine's opt-in retry policy: transient
 // failures re-run under capped, jittered backoff; cancellation is final.
-func (w *worker) computeWithRetries(ctx context.Context, slot int, ci telemetry.CellInfo, spec fabric.CellSpec) (tps.Result, error) {
+// When the lease carries trace context it also returns the worker-side
+// spans — one attempt span per (re)run, parented to the cell span the
+// coordinator named in the lease, with per-shard child spans under each
+// attempt — for the completion RPC to ship back.
+func (w *worker) computeWithRetries(ctx context.Context, slot int, ci telemetry.CellInfo, lease *fabric.Lease) (tps.Result, []span.Span, error) {
 	bo := fabric.Backoff{}
 	onRefs := w.rec.WorkerRefs(slot)
+	traced := lease.Trace != ""
+	var mu sync.Mutex // shard-span callbacks arrive from concurrent shard workers
+	var spans []span.Span
 	for attempt := 0; ; attempt++ {
-		res, err := tps.RunSpec(ctx, spec, onRefs)
+		var attemptID string
+		var onShard func(shard int, start, end time.Time)
+		if traced {
+			attemptID = span.NewID()
+			onShard = func(shard int, start, end time.Time) {
+				mu.Lock()
+				spans = append(spans, span.Span{
+					Trace: lease.Trace, ID: span.NewID(), Parent: attemptID,
+					Kind: span.KindShard, Name: fmt.Sprintf("shard-%d", shard),
+					Worker: w.client.Worker, Gen: lease.Generation,
+					StartNS: start.UnixNano(), EndNS: end.UnixNano(),
+					Outcome: span.OutcomeCompleted,
+				})
+				mu.Unlock()
+			}
+		}
+		start := time.Now()
+		res, err := tps.RunSpecObserved(ctx, lease.Spec, onRefs, onShard)
+		if traced {
+			sp := span.Span{
+				Trace: lease.Trace, ID: attemptID, Parent: lease.Span,
+				Kind:   span.KindAttempt,
+				Name:   lease.Spec.Workload + "/" + lease.Spec.Scheme,
+				Worker: w.client.Worker, Gen: lease.Generation,
+				StartNS: start.UnixNano(), EndNS: time.Now().UnixNano(),
+				Outcome: span.OutcomeCompleted,
+			}
+			if err != nil {
+				sp.Outcome = span.OutcomeFailed
+				sp.Err = err.Error()
+			}
+			mu.Lock()
+			spans = append(spans, sp)
+			mu.Unlock()
+		}
 		if err == nil || attempt >= w.retries || ctx.Err() != nil {
-			return res, err
+			return res, spans, err
 		}
 		if err := bo.Sleep(ctx, attempt); err != nil {
-			return tps.Result{}, err
+			return tps.Result{}, spans, err
 		}
 		w.rec.CellRetried(ci, slot, attempt+1)
 	}

@@ -16,6 +16,7 @@ import (
 	"tps/internal/pagetable"
 	"tps/internal/store"
 	"tps/internal/telemetry"
+	"tps/internal/telemetry/series"
 	"tps/internal/vmm"
 )
 
@@ -87,6 +88,18 @@ type FigureConfig struct {
 	// fully disabled: the hot path is bit-identical and allocation-free,
 	// and rendered output is byte-identical in either mode.
 	Telemetry *telemetry.Recorder
+
+	// Series, when set, receives every computed cell's epoch-sampled
+	// counter time-series (internal/telemetry/series) — the per-epoch
+	// TLB miss rates, walk depths, promotion cascade, and page-size
+	// census the end-state tables cannot show. SeriesEvery is the
+	// sampling interval in references (default series.DefaultEvery).
+	// Sampling reads counters at batch boundaries only, so rendered
+	// output and modeled statistics are byte-identical with it on or
+	// off; it is NOT part of the cell fingerprint, and store-replayed
+	// cells emit no series (a replay runs zero references).
+	Series      *series.Log
+	SeriesEvery uint64
 }
 
 func (c FigureConfig) withDefaults() FigureConfig {
@@ -200,6 +213,17 @@ func (r *Runner) runOpts(w Workload, opts Options, frag bool) (Result, error) {
 	return r.eng.do(r.cfg.Context, key, func(ctx context.Context, onRefs func(uint64)) (Result, error) {
 		opts.Context = ctx
 		opts.OnRefs = onRefs
+		if sink := r.cfg.Series; sink != nil {
+			opts.SeriesEvery = r.cfg.SeriesEvery
+			if opts.SeriesEvery == 0 {
+				opts.SeriesEvery = series.DefaultEvery
+			}
+			meta := series.Meta{Workload: w.Name, Scheme: opts.Setup.SchemeName(),
+				Seed: opts.Seed, Shards: opts.Shards}
+			opts.OnSeries = func(pts []series.Point, every uint64) {
+				sink.WriteCell(meta, every, pts)
+			}
+		}
 		res, err := Run(w, opts)
 		if err != nil {
 			return Result{}, fmt.Errorf("run %s/%v: %w", w.Name, opts.Setup, err)

@@ -3,6 +3,7 @@ package tps
 import (
 	"context"
 	"fmt"
+	"time"
 
 	"tps/internal/fabric"
 	"tps/internal/fragstate"
@@ -84,6 +85,15 @@ func SpecKey(spec fabric.CellSpec) (string, error) {
 // to what the engine computes for the same cell locally — both funnel
 // into sim.Run with identical options.
 func RunSpec(ctx context.Context, spec fabric.CellSpec, onRefs func(uint64)) (Result, error) {
+	return RunSpecObserved(ctx, spec, onRefs, nil)
+}
+
+// RunSpecObserved is RunSpec with the remaining observability hooks
+// attached: onShardSpan receives one (shard, start, end) call per
+// intra-cell shard worker as it retires, feeding worker-side shard spans
+// into the run trace. All hooks are pure observers — the Result stays
+// bit-identical to an unobserved run.
+func RunSpecObserved(ctx context.Context, spec fabric.CellSpec, onRefs func(uint64), onShardSpan func(shard int, start, end time.Time)) (Result, error) {
 	spec, w, _, err := specKeyParts(spec)
 	if err != nil {
 		return Result{}, err
@@ -98,6 +108,7 @@ func RunSpec(ctx context.Context, spec fabric.CellSpec, onRefs func(uint64)) (Re
 		Shards:             spec.Shards,
 		Context:            ctx,
 		OnRefs:             onRefs,
+		OnShardSpan:        onShardSpan,
 	}
 	if spec.Frag {
 		opts.PreFragment = fragstate.PreFragment(fragstate.DefaultParams())

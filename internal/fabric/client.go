@@ -8,6 +8,8 @@ import (
 	"io"
 	"net/http"
 	"time"
+
+	"tps/internal/telemetry/span"
 )
 
 // Client is the worker side of the lease protocol: thin, retrying RPC
@@ -142,10 +144,18 @@ func (cl *Client) Renew(ctx context.Context, lease *Lease) (ok bool, err error) 
 // call is idempotent server-side; the client retries it as eagerly as any
 // other.
 func (cl *Client) Complete(ctx context.Context, lease *Lease, result []byte, errmsg string) (CompleteResponse, error) {
+	return cl.CompleteSpans(ctx, lease, result, errmsg, nil)
+}
+
+// CompleteSpans is Complete carrying the worker's child spans (attempts,
+// shards) for the run-wide trace. Spans ride the same idempotent request;
+// a retried completion re-sends them and the coordinator's per-cell span
+// cap absorbs the duplication.
+func (cl *Client) CompleteSpans(ctx context.Context, lease *Lease, result []byte, errmsg string, spans []span.Span) (CompleteResponse, error) {
 	var resp CompleteResponse
 	err := cl.post(ctx, "/fabric/complete", CompleteRequest{
 		Worker: cl.Worker, Key: lease.Key, Generation: lease.Generation,
-		Result: result, Error: errmsg,
+		Result: result, Error: errmsg, Spans: spans,
 	}, &resp)
 	return resp, err
 }

@@ -7,6 +7,8 @@ import (
 	"net/http"
 	"sync"
 	"time"
+
+	"tps/internal/telemetry/span"
 )
 
 // CellStatus is one cell's place in the lease lifecycle.
@@ -22,6 +24,44 @@ const (
 	// CellFailed: failed MaxFailures times; settled with its last error.
 	CellFailed
 )
+
+// String renders the status for timelines and /metrics.
+func (s CellStatus) String() string {
+	switch s {
+	case CellPending:
+		return "pending"
+	case CellLeased:
+		return "leased"
+	case CellDone:
+		return "done"
+	case CellFailed:
+		return "failed"
+	}
+	return fmt.Sprintf("status(%d)", int(s))
+}
+
+// Lease-lifecycle event kinds, one per protocol transition the
+// coordinator can observe. Delivered via Config.OnEvent.
+const (
+	EventGranted    = "granted"    // lease handed to a worker
+	EventSpeculated = "speculated" // duplicate grant of a straggling cell
+	EventExpired    = "expired"    // missed heartbeats; cell re-queued
+	EventCompleted  = "completed"  // first valid completion settled the cell
+	EventDuplicate  = "duplicate"  // completion for an already-settled cell
+	EventFailed     = "failed"     // cell settled as failed (MaxFailures)
+	EventRequeued   = "requeued"   // worker-side error; cell re-queued
+	EventRejected   = "rejected"   // unknown key or payload failed validation
+)
+
+// LeaseEvent is one protocol transition, as delivered to Config.OnEvent.
+type LeaseEvent struct {
+	Kind   string
+	Key    string
+	Spec   CellSpec
+	Worker string
+	Gen    uint64
+	Err    string
+}
 
 // Config tunes a Coordinator. The zero value is usable.
 type Config struct {
@@ -45,6 +85,12 @@ type Config struct {
 	// the persistence hook (duplicates never reach it). Called outside
 	// the coordinator lock.
 	OnComplete func(key string, spec CellSpec, result []byte)
+	// OnEvent, when set, observes every lease-lifecycle transition
+	// (grants, expirations, completions, ...). It is called UNDER the
+	// coordinator lock so events are totally ordered; the hook must be
+	// cheap and non-blocking — hand off to a buffered channel or an
+	// in-memory recorder, never do I/O inline.
+	OnEvent func(LeaseEvent)
 	// Logf receives protocol diagnostics (expirations, requeues,
 	// speculation); nil discards them.
 	Logf func(format string, args ...any)
@@ -89,13 +135,46 @@ type cell struct {
 	errmsg string
 	seeded bool          // settled from the store at startup (resume)
 	done   chan struct{} // closed exactly once, when the cell settles
+
+	// Tracing state. spanID names the cell span in the run trace; grants
+	// is the full lease timeline (every grant, with how each one ended);
+	// spans collects worker-returned child spans (attempts, shards),
+	// capped so a retry storm cannot grow coordinator memory unboundedly.
+	spanID  string
+	grants  []GrantRecord
+	spans   []span.Span
+	startNS int64 // first grant (work actually started)
+	endNS   int64 // settlement (done or failed)
 }
+
+// maxCellSpans bounds worker-returned spans kept per cell. 64 covers
+// MaxFailures×(attempt + max shards) with slack; beyond it the earliest
+// spans win (they are the straggler story).
+const maxCellSpans = 64
 
 type workerInfo struct {
 	lastSeen  time.Time
 	granted   uint64
 	completed uint64
 	stats     WorkerStats
+
+	// Throughput histogram inputs: the previous stats push, differenced
+	// against each new one to yield one refs/sec observation per
+	// heartbeat interval.
+	lastRefs uint64
+	lastAt   time.Time
+	hist     [RefsPerSecBuckets]uint64
+}
+
+// rpsBucket maps a refs/sec observation to its log2 histogram bucket:
+// bucket i covers [2^(10+i), 2^(11+i)), tails clamped.
+func rpsBucket(rate float64) int {
+	b := 0
+	for rate >= 2048 && b < RefsPerSecBuckets-1 {
+		rate /= 2
+		b++
+	}
+	return b
 }
 
 // Coordinator owns the lease table for one sweep: it hands out cells as
@@ -105,6 +184,9 @@ type workerInfo struct {
 type Coordinator struct {
 	cfg   Config
 	start time.Time
+
+	trace   string // run-wide trace ID, stamped on every lease
+	runSpan string // root span ID (the sweep itself)
 
 	mu      sync.Mutex
 	cells   map[string]*cell
@@ -125,10 +207,23 @@ func New(cfg Config) *Coordinator {
 	return &Coordinator{
 		cfg:     cfg,
 		start:   cfg.Now(),
+		trace:   span.NewID(),
+		runSpan: span.NewID(),
 		cells:   make(map[string]*cell),
 		leased:  make(map[string]bool),
 		workers: make(map[string]*workerInfo),
 	}
+}
+
+// TraceID returns the run-wide trace ID every lease carries.
+func (c *Coordinator) TraceID() string { return c.trace }
+
+func (c *Coordinator) eventLocked(kind string, cl *cell, worker string, errmsg string) {
+	if c.cfg.OnEvent == nil {
+		return
+	}
+	c.cfg.OnEvent(LeaseEvent{Kind: kind, Key: cl.key, Spec: cl.spec,
+		Worker: worker, Gen: cl.gen, Err: errmsg})
 }
 
 // Add registers one cell for dispatch. Duplicate keys are ignored (the
@@ -139,7 +234,8 @@ func (c *Coordinator) Add(key string, spec CellSpec) {
 	if _, ok := c.cells[key]; ok {
 		return
 	}
-	c.cells[key] = &cell{spec: spec, key: key, done: make(chan struct{})}
+	c.cells[key] = &cell{spec: spec, key: key, done: make(chan struct{}),
+		spanID: span.NewID()}
 	c.order = append(c.order, key)
 	c.pending = append(c.pending, key)
 }
@@ -153,8 +249,10 @@ func (c *Coordinator) AddSettled(key string, spec CellSpec, result []byte) {
 	if _, ok := c.cells[key]; ok {
 		return
 	}
+	now := c.cfg.Now().UnixNano()
 	cl := &cell{spec: spec, key: key, status: CellDone,
-		result: result, seeded: true, done: make(chan struct{})}
+		result: result, seeded: true, done: make(chan struct{}),
+		spanID: span.NewID(), startNS: now, endNS: now}
 	close(cl.done)
 	c.cells[key] = cl
 	c.order = append(c.order, key)
@@ -173,8 +271,22 @@ func (c *Coordinator) sweepLocked(now time.Time) {
 			cl.status = CellPending
 			delete(c.leased, key)
 			c.pending = append(c.pending, key)
+			c.closeGrantsLocked(cl, span.OutcomeExpired, now)
+			c.eventLocked(EventExpired, cl, cl.holder, "")
 			c.cfg.Logf("fabric: lease %s/%s gen %d held by %s expired, re-queued",
 				cl.spec.Workload, cl.spec.Scheme, cl.gen, cl.holder)
+		}
+	}
+}
+
+// closeGrantsLocked ends every still-open grant record of a cell with the
+// given outcome. Grants are closed on expiry, on re-grant (the previous
+// holder is superseded), and on settlement.
+func (c *Coordinator) closeGrantsLocked(cl *cell, outcome string, now time.Time) {
+	for i := range cl.grants {
+		if cl.grants[i].EndNS == 0 {
+			cl.grants[i].EndNS = now.UnixNano()
+			cl.grants[i].Outcome = outcome
 		}
 	}
 }
@@ -186,20 +298,41 @@ func (c *Coordinator) touchWorkerLocked(name string, stats WorkerStats, now time
 		c.workers[name] = w
 	}
 	w.lastSeen = now
+	// One refs/sec observation per stats push: the delta against the
+	// previous push over the elapsed wall time. A counter reset (worker
+	// restart under the same name) or a zero-elapsed duplicate push is
+	// skipped rather than recorded as a wild rate.
+	if !w.lastAt.IsZero() && now.After(w.lastAt) && stats.RefsTotal >= w.lastRefs {
+		rate := float64(stats.RefsTotal-w.lastRefs) / now.Sub(w.lastAt).Seconds()
+		w.hist[rpsBucket(rate)]++
+	}
+	w.lastRefs = stats.RefsTotal
+	w.lastAt = now
 	w.stats = stats
 	return w
 }
 
 func (c *Coordinator) grantLocked(cl *cell, worker string, now time.Time) *Lease {
+	// A re-grant (speculation, or dispatch after requeue) supersedes any
+	// grant still open; the previous holder keeps computing, but this
+	// lease timeline no longer counts on it.
+	c.closeGrantsLocked(cl, span.OutcomeSuperseded, now)
 	cl.gen++
 	cl.status = CellLeased
 	cl.holder = worker
 	cl.grant = now
 	cl.expiry = now.Add(c.cfg.TTL)
+	if cl.startNS == 0 {
+		cl.startNS = now.UnixNano()
+	}
+	cl.grants = append(cl.grants, GrantRecord{Gen: cl.gen, Worker: worker,
+		StartNS: now.UnixNano()})
 	c.leased[cl.key] = true
 	c.workers[worker].granted++
+	c.eventLocked(EventGranted, cl, worker, "")
 	return &Lease{Key: cl.key, Spec: cl.spec, Generation: cl.gen,
-		TTLMS: c.cfg.TTL.Milliseconds()}
+		TTLMS: c.cfg.TTL.Milliseconds(),
+		Trace: c.trace, Span: cl.spanID}
 }
 
 // Grant hands the worker one lease: the next pending cell, or — when the
@@ -241,6 +374,7 @@ func (c *Coordinator) Grant(worker string, stats WorkerStats) (*Lease, bool) {
 			c.cfg.Logf("fabric: straggler %s/%s (held by %s for %s) speculatively re-issued to %s",
 				oldest.spec.Workload, oldest.spec.Scheme, oldest.holder,
 				now.Sub(oldest.grant).Round(time.Millisecond), worker)
+			c.eventLocked(EventSpeculated, oldest, worker, "")
 			lease := c.grantLocked(oldest, worker, now)
 			c.mu.Unlock()
 			return lease, false
@@ -277,6 +411,17 @@ func (c *Coordinator) Renew(worker, key string, gen uint64, stats WorkerStats) b
 // result; whoever is second is acknowledged as a duplicate and changes
 // nothing. Worker-side errors re-queue the cell until MaxFailures.
 func (c *Coordinator) Complete(worker, key string, gen uint64, result []byte, errmsg string) CompleteResponse {
+	return c.CompleteFull(CompleteRequest{Worker: worker, Key: key,
+		Generation: gen, Result: result, Error: errmsg})
+}
+
+// CompleteFull is Complete plus trace collection: worker-returned spans
+// ride the request and are attached to the cell's trace — even from
+// duplicate completions, because the late original's spans are exactly
+// the straggler evidence the timeline view wants.
+func (c *Coordinator) CompleteFull(req CompleteRequest) CompleteResponse {
+	worker, key := req.Worker, req.Key
+	result, errmsg := []byte(req.Result), req.Error
 	c.mu.Lock()
 	now := c.cfg.Now()
 	if w := c.workers[worker]; w != nil {
@@ -287,11 +432,23 @@ func (c *Coordinator) Complete(worker, key string, gen uint64, result []byte, er
 	cl, ok := c.cells[key]
 	if !ok {
 		c.rejected++
+		if c.cfg.OnEvent != nil {
+			c.cfg.OnEvent(LeaseEvent{Kind: EventRejected, Key: key,
+				Worker: worker, Gen: req.Generation, Err: "unknown cell"})
+		}
 		c.mu.Unlock()
 		return CompleteResponse{}
 	}
+	if n := maxCellSpans - len(cl.spans); n > 0 && len(req.Spans) > 0 {
+		add := req.Spans
+		if len(add) > n {
+			add = add[:n]
+		}
+		cl.spans = append(cl.spans, add...)
+	}
 	if cl.status == CellDone || cl.status == CellFailed {
 		c.duplicates++
+		c.eventLocked(EventDuplicate, cl, worker, "")
 		c.mu.Unlock()
 		return CompleteResponse{Accepted: true, Duplicate: true}
 	}
@@ -301,6 +458,7 @@ func (c *Coordinator) Complete(worker, key string, gen uint64, result []byte, er
 				cl.spec.Workload, cl.spec.Scheme, worker, err)
 			result = nil // treat as a lost attempt, not a cell failure
 			c.rejected++
+			c.eventLocked(EventRejected, cl, worker, err.Error())
 		}
 	}
 	// A non-holder whose lease was re-issued reports garbage or an error:
@@ -308,6 +466,7 @@ func (c *Coordinator) Complete(worker, key string, gen uint64, result []byte, er
 	staleCopy := cl.status == CellLeased && cl.holder != worker
 	if len(result) == 0 && errmsg == "" {
 		if !staleCopy {
+			c.closeGrantsLocked(cl, span.OutcomeFailed, now)
 			c.requeueLocked(cl)
 		}
 		c.mu.Unlock()
@@ -321,12 +480,17 @@ func (c *Coordinator) Complete(worker, key string, gen uint64, result []byte, er
 			cl.status = CellFailed
 			delete(c.leased, key)
 			c.failedCells++
+			c.closeGrantsLocked(cl, span.OutcomeFailed, now)
+			cl.endNS = now.UnixNano()
 			close(cl.done)
+			c.eventLocked(EventFailed, cl, worker, errmsg)
 			c.cfg.Logf("fabric: cell %s/%s failed %d times, settling as failed: %s",
 				cl.spec.Workload, cl.spec.Scheme, cl.fails, errmsg)
 		case !staleCopy:
 			c.requeues++
+			c.closeGrantsLocked(cl, span.OutcomeFailed, now)
 			c.requeueLocked(cl)
+			c.eventLocked(EventRequeued, cl, worker, errmsg)
 			c.cfg.Logf("fabric: cell %s/%s failed on %s (attempt %d/%d), re-queued: %s",
 				cl.spec.Workload, cl.spec.Scheme, worker, cl.fails, c.cfg.MaxFailures, errmsg)
 		}
@@ -339,8 +503,23 @@ func (c *Coordinator) Complete(worker, key string, gen uint64, result []byte, er
 	c.doneCells++
 	c.completions++
 	c.workers[worker].completed++
+	// The completer's open grant (if any) ends as completed, any other
+	// still-open grant as superseded — its holder lost the race.
+	for i := range cl.grants {
+		if cl.grants[i].EndNS != 0 {
+			continue
+		}
+		cl.grants[i].EndNS = now.UnixNano()
+		if cl.grants[i].Worker == worker {
+			cl.grants[i].Outcome = span.OutcomeCompleted
+		} else {
+			cl.grants[i].Outcome = span.OutcomeSuperseded
+		}
+	}
+	cl.endNS = now.UnixNano()
 	spec := cl.spec
 	close(cl.done)
+	c.eventLocked(EventCompleted, cl, worker, "")
 	c.mu.Unlock()
 	if c.cfg.OnComplete != nil {
 		c.cfg.OnComplete(key, spec, result)
@@ -395,6 +574,7 @@ func (c *Coordinator) Snapshot() FleetSnapshot {
 	defer c.mu.Unlock()
 	now := c.cfg.Now()
 	s := FleetSnapshot{
+		Trace:         c.trace,
 		UptimeS:       now.Sub(c.start).Seconds(),
 		CellsTotal:    len(c.cells),
 		CellsDone:     c.doneCells,
@@ -426,9 +606,70 @@ func (c *Coordinator) Snapshot() FleetSnapshot {
 		s.Workers = append(s.Workers, FleetWorker{
 			Name: name, LastSeenS: now.Sub(w.lastSeen).Seconds(),
 			Granted: w.granted, Completed: w.completed, Stats: w.stats,
+			RefsPerSecHist: w.hist,
 		})
 	}
+	for _, key := range c.order {
+		cl := c.cells[key]
+		tl := LeaseTimeline{Key: cl.key, Workload: cl.spec.Workload,
+			Scheme: cl.spec.Scheme, Status: cl.status.String(), Seeded: cl.seeded}
+		tl.Grants = append(tl.Grants, cl.grants...)
+		s.Leases = append(s.Leases, tl)
+	}
 	return s
+}
+
+// Trace assembles the run-wide distributed trace: the sweep's run span,
+// one cell span per grid entry, one lease span per grant — the
+// coordinator-side view, which is the ONLY evidence left by a worker that
+// died without completing — and every worker-returned attempt/shard span.
+// Callable at any point in the sweep; open work is rendered as live spans
+// ending now.
+func (c *Coordinator) Trace() []span.Span {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	now := c.cfg.Now().UnixNano()
+	out := make([]span.Span, 0, 1+2*len(c.order))
+	out = append(out, span.Span{Trace: c.trace, ID: c.runSpan,
+		Kind: span.KindRun, Name: "sweep",
+		StartNS: c.start.UnixNano(), EndNS: now})
+	for _, key := range c.order {
+		cl := c.cells[key]
+		name := cl.spec.Workload + "/" + cl.spec.Scheme
+		cs := span.Span{Trace: c.trace, ID: cl.spanID, Parent: c.runSpan,
+			Kind: span.KindCell, Name: name,
+			StartNS: cl.startNS, EndNS: cl.endNS}
+		if cs.StartNS == 0 {
+			cs.StartNS = c.start.UnixNano() // never granted yet
+		}
+		switch {
+		case cl.seeded:
+			cs.Outcome = span.OutcomeSeeded // zero-duration: replay is free
+		case cl.status == CellDone:
+			cs.Outcome = span.OutcomeCompleted
+		case cl.status == CellFailed:
+			cs.Outcome = span.OutcomeFailed
+			cs.Err = cl.errmsg
+		default:
+			cs.Outcome = span.OutcomeLive
+			cs.EndNS = now
+		}
+		out = append(out, cs)
+		for _, g := range cl.grants {
+			ls := span.Span{Trace: c.trace,
+				ID:     fmt.Sprintf("%s.g%d", cl.spanID, g.Gen),
+				Parent: cl.spanID, Kind: span.KindLease, Name: name,
+				Worker: g.Worker, Gen: g.Gen,
+				StartNS: g.StartNS, EndNS: g.EndNS, Outcome: g.Outcome}
+			if ls.EndNS == 0 {
+				ls.EndNS = now
+				ls.Outcome = span.OutcomeLive
+			}
+			out = append(out, ls)
+		}
+		out = append(out, cl.spans...)
+	}
+	return out
 }
 
 // Handler serves the lease protocol plus the fleet metrics snapshot:
@@ -467,7 +708,7 @@ func (c *Coordinator) Handler() http.Handler {
 		if !decodeReq(w, r, &req) {
 			return
 		}
-		writeJSON(w, c.Complete(req.Worker, req.Key, req.Generation, req.Result, req.Error))
+		writeJSON(w, c.CompleteFull(req))
 	})
 	mux.HandleFunc("GET /metrics", func(w http.ResponseWriter, r *http.Request) {
 		w.Header().Set("Content-Type", "application/json")

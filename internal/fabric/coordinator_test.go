@@ -6,6 +6,7 @@ import (
 	"sync"
 	"testing"
 	"time"
+	"tps/internal/telemetry/span"
 )
 
 // fakeClock is an injectable coordinator clock for lease-lifecycle tests:
@@ -331,5 +332,119 @@ func TestOnCompleteFiresOncePerCell(t *testing.T) {
 	defer mu.Unlock()
 	if calls["k1"] != 1 {
 		t.Fatalf("OnComplete fired %d times, want 1", calls["k1"])
+	}
+}
+
+// TestTraceAssemblyAndEvents drives one cell through expiry, re-grant,
+// and completion-with-spans, then checks every tracing surface at once:
+// the OnEvent stream, the grant records in the snapshot's lease
+// timelines, and the assembled Trace() — run span, cell span, one lease
+// span per grant with the right outcomes, and the worker's attempt span
+// merged in.
+func TestTraceAssemblyAndEvents(t *testing.T) {
+	clk := newFakeClock()
+	var events []string
+	c := testCoordinator(clk, Config{
+		TTL:            time.Second,
+		SpeculateAfter: -1,
+		OnEvent: func(ev LeaseEvent) {
+			events = append(events, ev.Kind+":"+ev.Worker)
+		},
+	})
+	c.Add("k1", spec(1))
+
+	l1, _ := c.Grant("slow", WorkerStats{})
+	if l1.Trace == "" || l1.Span == "" {
+		t.Fatalf("lease missing trace context: %+v", l1)
+	}
+	if l1.Trace != c.TraceID() {
+		t.Fatalf("lease trace %q != coordinator trace %q", l1.Trace, c.TraceID())
+	}
+	clk.Advance(2 * time.Second) // l1 expires
+	l2, _ := c.Grant("fast", WorkerStats{})
+	if l2 == nil || l2.Generation != 2 {
+		t.Fatalf("re-grant after expiry: %+v", l2)
+	}
+	clk.Advance(100 * time.Millisecond)
+	attempt := span.Span{Trace: l2.Trace, ID: "att1", Parent: l2.Span,
+		Kind: span.KindAttempt, Name: "w1/tps", Worker: "fast", Gen: 2,
+		StartNS: 1, EndNS: 2, Outcome: span.OutcomeCompleted}
+	r := c.CompleteFull(CompleteRequest{Worker: "fast", Key: "k1",
+		Generation: l2.Generation, Result: []byte(`{"x":1}`),
+		Spans: []span.Span{attempt}})
+	if !r.Accepted || r.Duplicate {
+		t.Fatalf("completion: %+v", r)
+	}
+
+	wantEvents := []string{"granted:slow", "expired:slow", "granted:fast", "completed:fast"}
+	if fmt.Sprint(events) != fmt.Sprint(wantEvents) {
+		t.Fatalf("event stream = %v, want %v", events, wantEvents)
+	}
+
+	s := c.Snapshot()
+	if len(s.Leases) != 1 {
+		t.Fatalf("snapshot leases = %d, want 1", len(s.Leases))
+	}
+	tl := s.Leases[0]
+	if tl.Status != "done" || len(tl.Grants) != 2 {
+		t.Fatalf("lease timeline: %+v", tl)
+	}
+	if tl.Grants[0].Outcome != span.OutcomeExpired || tl.Grants[1].Outcome != span.OutcomeCompleted {
+		t.Fatalf("grant outcomes: %q, %q", tl.Grants[0].Outcome, tl.Grants[1].Outcome)
+	}
+
+	spans := c.Trace()
+	byKind := map[string]int{}
+	for _, sp := range spans {
+		if sp.Trace != c.TraceID() {
+			t.Fatalf("span %q carries trace %q, want %q", sp.ID, sp.Trace, c.TraceID())
+		}
+		byKind[sp.Kind]++
+	}
+	if byKind[span.KindRun] != 1 || byKind[span.KindCell] != 1 ||
+		byKind[span.KindLease] != 2 || byKind[span.KindAttempt] != 1 {
+		t.Fatalf("trace span census: %v", byKind)
+	}
+	for _, sp := range spans {
+		if sp.Kind == span.KindCell && sp.Outcome != span.OutcomeCompleted {
+			t.Fatalf("cell span outcome = %q", sp.Outcome)
+		}
+		if sp.Kind == span.KindAttempt && sp.Parent != l2.Span {
+			t.Fatalf("attempt span parent = %q, want %q", sp.Parent, l2.Span)
+		}
+	}
+}
+
+// TestWorkerRefsPerSecHistogram: stats pushes feed the per-worker
+// throughput histogram one observation per push delta, skipping counter
+// resets and zero-elapsed pushes.
+func TestWorkerRefsPerSecHistogram(t *testing.T) {
+	clk := newFakeClock()
+	c := testCoordinator(clk, Config{TTL: time.Minute})
+	c.Add("k1", spec(1))
+
+	c.Grant("w1", WorkerStats{RefsTotal: 0}) // first touch: baseline only
+	clk.Advance(time.Second)
+	c.Renew("w1", "k1", 1, WorkerStats{RefsTotal: 1 << 20}) // ~1M refs/s
+	clk.Advance(time.Second)
+	c.Renew("w1", "k1", 1, WorkerStats{RefsTotal: 2 << 20}) // ~1M refs/s again
+	clk.Advance(time.Second)
+	c.Renew("w1", "k1", 1, WorkerStats{RefsTotal: 100}) // counter reset: skipped
+
+	s := c.Snapshot()
+	if len(s.Workers) != 1 {
+		t.Fatalf("workers = %d", len(s.Workers))
+	}
+	var total uint64
+	for _, n := range s.Workers[0].RefsPerSecHist {
+		total += n
+	}
+	if total != 2 {
+		t.Fatalf("histogram observations = %d, want 2 (reset and baseline skipped): %v",
+			total, s.Workers[0].RefsPerSecHist)
+	}
+	// ~1M refs/s lands in the bucket covering [2^20, 2^21).
+	if got := s.Workers[0].RefsPerSecHist[10]; got != 2 {
+		t.Fatalf("bucket 10 = %d, want 2: %v", got, s.Workers[0].RefsPerSecHist)
 	}
 }

@@ -35,10 +35,17 @@
 // The package is deliberately result-agnostic: cell payloads are opaque
 // JSON blobs validated by a caller-supplied hook, so fabric never imports
 // the simulator (the tps package imports fabric, not the reverse — the
-// engine reuses Backoff for its own cell retries).
+// engine reuses Backoff for its own cell retries). The one telemetry
+// dependency is the span model (internal/telemetry/span), itself
+// dependency-free: trace context rides the lease protocol so the
+// coordinator can assemble one run-wide trace from worker-returned spans.
 package fabric
 
-import "encoding/json"
+import (
+	"encoding/json"
+
+	"tps/internal/telemetry/span"
+)
 
 // CellSpec is the wire identity of one simulation cell: pure data, enough
 // for any worker to reproduce the cell bit-exactly. The tps package maps a
@@ -59,11 +66,19 @@ type CellSpec struct {
 // content address (the dedup key for completions); Generation is the
 // cell's monotonic grant counter (the validity token for renewals). The
 // lease expires TTLMS after the grant or the latest successful renewal.
+//
+// Trace and Span carry the sweep's distributed-tracing context: the
+// run-wide trace ID and the cell's span ID. Workers parent their attempt
+// spans under Span and return them in the completion payload; both fields
+// are empty when tracing is not in play (they are advisory, never
+// validated).
 type Lease struct {
 	Key        string   `json:"key"`
 	Spec       CellSpec `json:"spec"`
 	Generation uint64   `json:"generation"`
 	TTLMS      int64    `json:"ttl_ms"`
+	Trace      string   `json:"trace,omitempty"`
+	Span       string   `json:"span,omitempty"`
 }
 
 // WorkerStats is the compact telemetry snapshot a worker pushes with every
@@ -114,12 +129,16 @@ type RenewResponse struct {
 // CompleteRequest settles a cell: a JSON-encoded result, or an error
 // message for a cell that failed on the worker. Generation is advisory
 // (logged, never enforced) — completion validity is keyed by Key alone.
+// Spans carries the worker's child spans (attempts, shards) for the
+// run-wide trace; the coordinator collects them even from duplicate
+// completions, because a late original's spans ARE the straggler story.
 type CompleteRequest struct {
 	Worker     string          `json:"worker"`
 	Key        string          `json:"key"`
 	Generation uint64          `json:"generation"`
 	Result     json.RawMessage `json:"result,omitempty"`
 	Error      string          `json:"error,omitempty"`
+	Spans      []span.Span     `json:"spans,omitempty"`
 }
 
 // CompleteResponse acknowledges a completion. Duplicate means the cell was
@@ -132,15 +151,49 @@ type CompleteResponse struct {
 	Duplicate bool `json:"duplicate"`
 }
 
+// RefsPerSecBuckets is the width of the per-worker throughput histogram:
+// log2 buckets, bucket i covering roughly [2^(10+i), 2^(11+i)) refs/sec
+// with both tails clamped (bucket 0 absorbs anything below 2 Ki refs/s,
+// the last bucket anything past 64 Gi refs/s).
+const RefsPerSecBuckets = 16
+
 // FleetWorker is one worker's aggregated view in the fleet snapshot:
 // coordinator-side counters (grants, completions) merged with the stats
-// the worker last pushed about itself.
+// the worker last pushed about itself. RefsPerSecHist is built by the
+// coordinator from the deltas between consecutive stat pushes — each
+// heartbeat interval contributes one observation — so a flat-lining
+// worker is visible as mass in the low buckets, not just a stale total.
 type FleetWorker struct {
-	Name      string      `json:"name"`
-	LastSeenS float64     `json:"last_seen_s"`
-	Granted   uint64      `json:"granted"`
-	Completed uint64      `json:"completed"`
-	Stats     WorkerStats `json:"stats"`
+	Name           string                    `json:"name"`
+	LastSeenS      float64                   `json:"last_seen_s"`
+	Granted        uint64                    `json:"granted"`
+	Completed      uint64                    `json:"completed"`
+	Stats          WorkerStats               `json:"stats"`
+	RefsPerSecHist [RefsPerSecBuckets]uint64 `json:"refs_per_sec_hist"`
+}
+
+// GrantRecord is one grant of one cell in its lease timeline: who held
+// the lease, over which generation, and how the grant ended. EndNS is 0
+// while the lease is live.
+type GrantRecord struct {
+	Gen     uint64 `json:"gen"`
+	Worker  string `json:"worker"`
+	StartNS int64  `json:"start_ns"`
+	EndNS   int64  `json:"end_ns,omitempty"`
+	Outcome string `json:"outcome,omitempty"` // completed/expired/failed/superseded
+}
+
+// LeaseTimeline is one cell's full grant history in the fleet snapshot —
+// the /metrics answer to "which lease/worker is the critical path", and
+// the raw material of straggler attribution (a cell with more than one
+// grant was expired or speculated at least once).
+type LeaseTimeline struct {
+	Key      string        `json:"key"`
+	Workload string        `json:"workload"`
+	Scheme   string        `json:"scheme"`
+	Status   string        `json:"status"` // pending/leased/done/failed
+	Seeded   bool          `json:"seeded,omitempty"`
+	Grants   []GrantRecord `json:"grants,omitempty"`
 }
 
 // FleetSnapshot is the coordinator's /metrics view: grid progress, the
@@ -150,6 +203,7 @@ type FleetWorker struct {
 // completions + store_seeded + cells_failed == cells_done + cells_failed
 // when the sweep finishes, however many duplicates arrived.
 type FleetSnapshot struct {
+	Trace         string        `json:"trace"`
 	UptimeS       float64       `json:"uptime_s"`
 	CellsTotal    int           `json:"cells_total"`
 	CellsDone     int           `json:"cells_done"`
@@ -166,4 +220,6 @@ type FleetSnapshot struct {
 	Requeues      uint64        `json:"requeues"`
 	RefsTotal     uint64        `json:"refs_total"`
 	Workers       []FleetWorker `json:"workers"`
+	// Leases is the per-cell grant history, in grid registration order.
+	Leases []LeaseTimeline `json:"leases,omitempty"`
 }

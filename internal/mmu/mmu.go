@@ -256,6 +256,12 @@ type MMU struct {
 	fill    FillPolicy
 
 	stats Stats
+
+	// tcServes counts translation-cache fast-path serves. Observability
+	// only (the epoch time-series): deliberately outside Stats, because
+	// Stats — and therefore Result — must stay bit-identical with the
+	// cache on or off (the reconciliation invariant in transcache.go).
+	tcServes uint64
 }
 
 // asidShift places the ASID above every translated virtual-address bit, so
@@ -312,6 +318,11 @@ func allOrdersBelow1G() []addr.Order {
 
 // Stats returns a copy of the counters.
 func (m *MMU) Stats() Stats { return m.stats }
+
+// TransCacheServes returns the number of translations the software
+// translation cache short-circuited. Not part of Stats (see the tcServes
+// field comment); consumed by the series sampler.
+func (m *MMU) TransCacheServes() uint64 { return m.tcServes }
 
 // Table returns the page table this MMU translates through.
 func (m *MMU) Table() *pagetable.Table { return m.table }

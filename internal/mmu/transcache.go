@@ -162,6 +162,7 @@ func (m *MMU) serveTC(tvpn addr.VPN, write bool) *tcEntry {
 	}
 	m.stats.Accesses++
 	m.stats.L1Hits++
+	m.tcServes++
 	return e
 }
 

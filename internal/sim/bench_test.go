@@ -14,6 +14,7 @@ import (
 	"sync/atomic"
 	"testing"
 
+	"tps/internal/telemetry/series"
 	"tps/internal/trace"
 )
 
@@ -93,6 +94,19 @@ func BenchmarkRefLoopSharded(b *testing.B) {
 // (the Fig. 2/13/14 configuration), the most expensive per-ref path.
 func BenchmarkRefLoopCycleModel(b *testing.B) {
 	benchRefLoop(b, Options{Setup: SetupTHP, CycleModel: true})
+}
+
+// BenchmarkRefLoopSeries measures the epoch-sampling overhead: the same
+// loop with a live series sampler at the conventional interval. Per
+// batch the sampler costs one add and one compare; the probe itself
+// (counter reads plus the census walk) amortizes over a full epoch. The
+// bench_guard contract: within 5% of the plain BenchmarkRefLoop row.
+func BenchmarkRefLoopSeries(b *testing.B) {
+	for _, s := range []Setup{SetupTHP, SetupTPS} {
+		b.Run(s.SchemeName(), func(b *testing.B) {
+			benchRefLoop(b, Options{Setup: s, SeriesEvery: series.DefaultEvery})
+		})
+	}
 }
 
 // BenchmarkRefLoopTelemetry measures the enabled-telemetry overhead: the

@@ -1,0 +1,172 @@
+package sim
+
+// The epoch-series contracts. (1) Zero-alloc: sampling inside the ref
+// loop must not allocate in steady state — for every registered scheme,
+// and under the sharded router and disabled-transcache variants, with an
+// aggressive interval so samples actually fire inside the measured
+// window. (2) No perturbation: a run's Result is bit-identical with the
+// series on or off. (3) Determinism: identical options produce
+// byte-identical series output, serial AND sharded; and the sharded
+// series lands on exactly the serial epoch grid (same Refs column, same
+// per-epoch ref deltas) even though the sampled values deviate by the
+// documented sharded amounts.
+
+import (
+	"bytes"
+	"encoding/json"
+	"reflect"
+	"testing"
+
+	"tps/internal/telemetry/series"
+)
+
+func TestSeriesSamplerSteadyStateAllocs(t *testing.T) {
+	if testing.Short() {
+		t.Skip("faults in a 64MB footprint per scheme")
+	}
+	// Every other 512-ref batch crosses an epoch boundary, so the
+	// AllocsPerRun window contains ~100 live samples (ring, probe,
+	// census walk included).
+	for _, s := range Setups() {
+		t.Run(s.SchemeName(), func(t *testing.T) {
+			got := allocsPerBatch(t, Options{Setup: s, SeriesEvery: 1024})
+			if got != 0 {
+				t.Fatalf("sampling RefBatch allocates %.2f allocs/op, want 0", got)
+			}
+		})
+	}
+	variants := []struct {
+		name string
+		opts Options
+	}{
+		{"sharded-2", Options{Setup: SetupTPS, Shards: 2, SeriesEvery: 1024}},
+		{"cache-disabled", Options{Setup: SetupTPS, TransCache: -1, SeriesEvery: 1024}},
+	}
+	for _, v := range variants {
+		t.Run(v.name, func(t *testing.T) {
+			got := allocsPerBatch(t, v.opts)
+			if got != 0 {
+				t.Fatalf("sampling RefBatch allocates %.2f allocs/op, want 0", got)
+			}
+		})
+	}
+}
+
+// seriesRun executes one churn cell with sampling and returns the wire
+// records plus the Result.
+func seriesRun(t *testing.T, shards int, every uint64) ([]series.Record, Result) {
+	t.Helper()
+	var pts []series.Point
+	var gotEvery uint64
+	w := churnWorkload(4, 256)
+	opts := Options{
+		Setup: SetupTPS, Refs: 30000, Seed: 42, MemoryPages: 1 << 20,
+		Shards: shards, SeriesEvery: every,
+		OnSeries: func(p []series.Point, e uint64) {
+			pts = append([]series.Point(nil), p...)
+			gotEvery = e
+		},
+	}
+	res, err := Run(w, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(pts) == 0 {
+		t.Fatal("run produced no series points")
+	}
+	meta := series.Meta{Workload: w.Name, Scheme: res.Scheme, Seed: opts.Seed, Shards: shards}
+	return series.RecordsFor(meta, gotEvery, pts), res
+}
+
+func encodeRecords(t *testing.T, recs []series.Record) []byte {
+	t.Helper()
+	var buf bytes.Buffer
+	for _, r := range recs {
+		b, err := json.Marshal(r)
+		if err != nil {
+			t.Fatal(err)
+		}
+		buf.Write(b)
+		buf.WriteByte('\n')
+	}
+	return buf.Bytes()
+}
+
+func TestSeriesDeterminism(t *testing.T) {
+	if testing.Short() {
+		t.Skip("runs four full cells")
+	}
+	s1a, _ := seriesRun(t, 1, 4096)
+	s1b, _ := seriesRun(t, 1, 4096)
+	if !bytes.Equal(encodeRecords(t, s1a), encodeRecords(t, s1b)) {
+		t.Error("serial series not byte-identical across identical runs")
+	}
+	s2a, _ := seriesRun(t, 2, 4096)
+	s2b, _ := seriesRun(t, 2, 4096)
+	if !bytes.Equal(encodeRecords(t, s2a), encodeRecords(t, s2b)) {
+		t.Error("sharded series not byte-identical across identical runs")
+	}
+	// Serial and sharded sample at identical global stream positions
+	// (the router advances by the same producer batches the serial
+	// machine does, and probes behind a drain barrier), so the epoch
+	// grids must coincide exactly. The counter VALUES deviate — sharded
+	// statistics are reproducible but not serial-identical, per
+	// DESIGN.md — so only the grid is compared.
+	if len(s1a) != len(s2a) {
+		t.Fatalf("epoch count diverged: serial %d, sharded %d", len(s1a), len(s2a))
+	}
+	for i := range s1a {
+		if s1a[i].Refs != s2a[i].Refs || s1a[i].Delta.Refs != s2a[i].Delta.Refs ||
+			s1a[i].Every != s2a[i].Every || s1a[i].Epoch != s2a[i].Epoch {
+			t.Fatalf("epoch %d grid diverged: serial (refs=%d Δ%d every=%d), sharded (refs=%d Δ%d every=%d)",
+				i, s1a[i].Refs, s1a[i].Delta.Refs, s1a[i].Every,
+				s2a[i].Refs, s2a[i].Delta.Refs, s2a[i].Every)
+		}
+	}
+}
+
+// TestSeriesDoesNotPerturbResult is the golden-stdout guarantee at its
+// root: sampling only reads counters, so the Result of a sampled run is
+// bit-identical to the unsampled one — serial and sharded.
+func TestSeriesDoesNotPerturbResult(t *testing.T) {
+	if testing.Short() {
+		t.Skip("runs four full cells")
+	}
+	for _, shards := range []int{1, 2} {
+		_, sampled := seriesRun(t, shards, 4096)
+		w := churnWorkload(4, 256)
+		plain, err := Run(w, Options{
+			Setup: SetupTPS, Refs: 30000, Seed: 42, MemoryPages: 1 << 20, Shards: shards,
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !reflect.DeepEqual(sampled, plain) {
+			t.Errorf("shards=%d: sampled Result differs from unsampled", shards)
+		}
+	}
+}
+
+// TestSeriesFinalPoint pins the tail contract: the last record covers the
+// stream end even when the run stops between epoch boundaries, and the
+// cumulative Refs column is strictly increasing.
+func TestSeriesFinalPoint(t *testing.T) {
+	if testing.Short() {
+		t.Skip("runs a full cell")
+	}
+	recs, _ := seriesRun(t, 1, 8192)
+	last := recs[len(recs)-1]
+	if last.Refs%8192 == 0 && len(recs) < 2 {
+		t.Fatalf("suspicious single boundary-aligned record: %+v", last)
+	}
+	var prev uint64
+	for i, r := range recs {
+		if r.Refs <= prev {
+			t.Fatalf("epoch %d: Refs %d not increasing past %d", i, r.Refs, prev)
+		}
+		prev = r.Refs
+	}
+	if last.Delta.Refs == 0 {
+		t.Error("final epoch delta is empty")
+	}
+}

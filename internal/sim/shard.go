@@ -4,8 +4,10 @@ import (
 	"fmt"
 	"sync"
 	"sync/atomic"
+	"time"
 
 	"tps/internal/addr"
+	"tps/internal/telemetry/series"
 	"tps/internal/trace"
 	"tps/internal/workload"
 )
@@ -68,11 +70,18 @@ type shardedMachine struct {
 	failed   atomic.Bool // some worker holds a sticky error
 	ack      chan error  // reused barrier channel (buffered)
 	closed   bool
+
+	sampler *seriesSampler // router-owned; replicas never sample
 }
 
 func newShardedMachine(opts Options) *shardedMachine {
 	ropts := opts
 	ropts.shardReplica = true
+	// The router owns the epoch sampler: replicas must not sample (their
+	// local stream positions are meaningless as a global grid) and must
+	// not flush (the router's collect does).
+	ropts.SeriesEvery = 0
+	ropts.OnSeries = nil
 	sm := &shardedMachine{
 		opts: opts,
 		// Seed-derived so the stripe→shard assignment is reproducible but
@@ -94,6 +103,23 @@ func newShardedMachine(opts Options) *shardedMachine {
 		sm.wg.Add(1)
 		go sm.runWorker(i)
 	}
+	// The probe drains the workers first (barrier), pinning the sample to
+	// an exact global stream position; the idle replicas are then safe to
+	// read directly. Serial and sharded runs advance by identical producer
+	// batches, so their epoch grids coincide even though the sampled
+	// VALUES deviate by the documented sharded amounts.
+	sm.sampler = newSeriesSampler(opts.SeriesEvery, func(p *series.Point) {
+		// After finish() the workers are already joined (and their work
+		// channels closed), so the final flush probe reads directly.
+		if !sm.closed {
+			if err := sm.barrier(); err != nil {
+				return // sticky error surfaces on the next Ref/RefBatch
+			}
+		}
+		for _, m := range sm.machines {
+			m.sampleInto(p)
+		}
+	})
 	return sm
 }
 
@@ -106,6 +132,10 @@ const batchCap = 512
 // and the error is reported at the next barrier.
 func (sm *shardedMachine) runWorker(i int) {
 	defer sm.wg.Done()
+	if hook := sm.opts.OnShardSpan; hook != nil {
+		start := time.Now()
+		defer func() { hook(i, start, time.Now()) }()
+	}
 	m := sm.machines[i]
 	var err error
 	for msg := range sm.workers[i].work {
@@ -156,6 +186,7 @@ func (sm *shardedMachine) Ref(r trace.Ref) error {
 		return sm.barrier()
 	}
 	sm.route(r)
+	sm.sampler.advance(1)
 	return nil
 }
 
@@ -169,6 +200,7 @@ func (sm *shardedMachine) RefBatch(refs []trace.Ref) error {
 	for i := range refs {
 		sm.route(refs[i])
 	}
+	sm.sampler.advance(uint64(len(refs)))
 	return nil
 }
 
@@ -264,6 +296,9 @@ func (sm *shardedMachine) finish() error {
 // the same calls. Derived metrics (WalkMemRefs, L1MPKI) are recomputed
 // from the merged totals.
 func (sm *shardedMachine) collect(w workload.Workload, c *trace.CountingSink) Result {
+	// Flush after finish(): the workers are joined, so the final probe
+	// skips the barrier and replica reads race nothing.
+	sm.sampler.flush(sm.opts.OnSeries)
 	r := Result{
 		Workload:     w.Name,
 		Setup:        sm.opts.Setup,

@@ -11,6 +11,7 @@ import (
 	"errors"
 	"fmt"
 	"strings"
+	"time"
 
 	"tps/internal/addr"
 	"tps/internal/buddy"
@@ -22,6 +23,7 @@ import (
 	"tps/internal/rmm"
 	"tps/internal/scheme"
 	_ "tps/internal/scheme/all" // populate the registry with the built-in backends
+	"tps/internal/telemetry/series"
 	"tps/internal/trace"
 	"tps/internal/vmm"
 	"tps/internal/workload"
@@ -156,6 +158,27 @@ type Options struct {
 	// per batch and nothing per reference; modeled statistics are
 	// identical either way.
 	OnRefs func(n uint64)
+
+	// SeriesEvery, when nonzero, samples an epoch-resolved counter
+	// time-series every that many references (series.DefaultEvery is the
+	// conventional value) and delivers it to OnSeries at collect time.
+	// Sampling only reads counters at batch granularity: modeled
+	// statistics, golden output, and the zero-alloc steady state are
+	// bit-identical with the series on or off (see series.go).
+	SeriesEvery uint64
+
+	// OnSeries receives the run's completed epoch series: cumulative
+	// points on a grid of the given interval (which may exceed
+	// SeriesEvery if the ring decimated). Called once, at collect time,
+	// from the run's own goroutine. The points slice is owned by the run;
+	// consumers copy or serialize before returning.
+	OnSeries func(points []series.Point, every uint64)
+
+	// OnShardSpan, when set on a sharded run, reports each shard worker
+	// goroutine's wall-clock lifetime (shard index, start, end) as the
+	// workers drain. Observability only; may be called concurrently from
+	// worker goroutines.
+	OnShardSpan func(shard int, start, end time.Time)
 
 	// OS knobs (TPS setups).
 	PromotionThreshold float64
@@ -303,6 +326,8 @@ type machine struct {
 	cyclesWarmup uint64
 
 	refsSeen uint64 // compaction-daemon scheduling
+
+	sampler *seriesSampler // nil unless Options.SeriesEvery > 0
 }
 
 // ctxErr polls the run's cancellation state: nil when the run should
@@ -459,6 +484,10 @@ func newMachine(opts Options) *machine {
 		m.pl2 = cpu.New(cpu.DefaultParams())
 		m.ideal = cpu.New(cpu.DefaultParams())
 	}
+	// The probe closure is bound once here, never per sample. Shard
+	// replicas never sample (newShardedMachine clears SeriesEvery in the
+	// replica options; the router owns the sampler).
+	m.sampler = newSeriesSampler(opts.SeriesEvery, m.sampleInto)
 	return m
 }
 
@@ -469,7 +498,13 @@ func (m *machine) Mmap(size uint64) (addr.Virt, error) { return m.mmapAs(0, size
 func (m *machine) Munmap(base addr.Virt) error { return m.procs[0].kernel.Munmap(base) }
 
 // Ref implements trace.Sink (thread 0).
-func (m *machine) Ref(r trace.Ref) error { return m.refAs(0, r) }
+func (m *machine) Ref(r trace.Ref) error {
+	if err := m.refAs(0, r); err != nil {
+		return err
+	}
+	m.sampler.advance(1)
+	return nil
+}
 
 // RefBatch implements trace.BatchSink (thread 0): the production delivery
 // path for non-SMT runs — one virtual call per buffer, then a tight slice
@@ -493,6 +528,7 @@ func (m *machine) RefBatch(refs []trace.Ref) error {
 				}
 			}
 		}
+		m.sampler.advance(uint64(len(refs)))
 		return nil
 	}
 	for i := range refs {
@@ -500,6 +536,7 @@ func (m *machine) RefBatch(refs []trace.Ref) error {
 			return err
 		}
 	}
+	m.sampler.advance(uint64(len(refs)))
 	return nil
 }
 
@@ -634,6 +671,7 @@ func Run(w workload.Workload, opts Options) (Result, error) {
 }
 
 func (m *machine) collect(w workload.Workload, c *trace.CountingSink) Result {
+	m.sampler.flush(m.opts.OnSeries)
 	r := Result{
 		Workload:     w.Name,
 		Setup:        m.opts.Setup,
@@ -773,8 +811,11 @@ func runSMT(w workload.Workload, m *machine, counter *trace.CountingSink, opts O
 		if err := m.ctxErr(); err != nil {
 			return fail(err)
 		}
-		if opts.OnRefs != nil && batched > 0 {
-			opts.OnRefs(batched)
+		if batched > 0 {
+			if opts.OnRefs != nil {
+				opts.OnRefs(batched)
+			}
+			m.sampler.advance(batched)
 			batched = 0
 		}
 		for i, t := range threads {
@@ -819,8 +860,11 @@ func runSMT(w workload.Workload, m *machine, counter *trace.CountingSink, opts O
 			}
 		}
 	}
-	if opts.OnRefs != nil && batched > 0 {
-		opts.OnRefs(batched)
+	if batched > 0 {
+		if opts.OnRefs != nil {
+			opts.OnRefs(batched)
+		}
+		m.sampler.advance(batched)
 	}
 	return join()
 }

@@ -30,6 +30,22 @@ const (
 	EventFinished    = "finished"
 )
 
+// Fleet lease-lifecycle event types: cmd/tpsfarm translates the fabric
+// coordinator's OnEvent stream into these ("lease-" + the fabric kind),
+// so one -events file interleaves cell lifecycle and lease protocol in
+// emission order. Origin names the worker involved and Gen the lease
+// generation.
+const (
+	EventLeaseGranted    = "lease-granted"
+	EventLeaseSpeculated = "lease-speculated"
+	EventLeaseExpired    = "lease-expired"
+	EventLeaseCompleted  = "lease-completed"
+	EventLeaseDuplicate  = "lease-duplicate"
+	EventLeaseFailed     = "lease-failed"
+	EventLeaseRequeued   = "lease-requeued"
+	EventLeaseRejected   = "lease-rejected"
+)
+
 // Counters is the finished-event snapshot of one cell's modeled
 // statistics — the figure-level numbers a diverging cell is debugged
 // against without rerunning the sweep.
@@ -56,6 +72,8 @@ type Event struct {
 	Setup    string    `json:"setup,omitempty"`  // display label
 	Scheme   string    `json:"scheme,omitempty"` // stable registry name
 	Worker   int       `json:"worker"`
+	Origin   string    `json:"origin,omitempty"`   // fleet worker name (tpsworker/tpsfarm)
+	Gen      uint64    `json:"gen,omitempty"`      // lease generation (fleet events)
 	Attempt  int       `json:"attempt,omitempty"`  // retried only
 	DurNS    int64     `json:"dur_ns,omitempty"`   // finished/failed
 	Error    string    `json:"error,omitempty"`    // failed

@@ -29,6 +29,12 @@ type CellRecord struct {
 	WallS    float64 `json:"wall_s"`
 	Refs     uint64  `json:"refs,omitempty"`
 	Error    string  `json:"error,omitempty"`
+	// TStartNS/TEndNS position the cell on the run's monotonic timeline
+	// (nanoseconds since the recorder started, same clock as Event.TNS) —
+	// the manifest's contribution to the trace view. Store hits are
+	// zero-duration (replay is ~free).
+	TStartNS int64 `json:"t_start_ns,omitempty"`
+	TEndNS   int64 `json:"t_end_ns,omitempty"`
 }
 
 // RunConfig is the manifest's record of the sweep's configuration — what

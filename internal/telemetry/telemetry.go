@@ -18,6 +18,8 @@ import (
 	"sync"
 	"sync/atomic"
 	"time"
+
+	"tps/internal/telemetry/span"
 )
 
 // CellInfo identifies one simulation cell across events and manifest
@@ -30,6 +32,7 @@ type CellInfo struct {
 	Workload string
 	Setup    string // display label ("TPS")
 	Scheme   string // stable registry name ("tps")
+	Gen      uint64 // lease generation, when the cell runs under a fleet lease
 }
 
 func (ci CellInfo) label() string { return ci.Workload + "/" + ci.Setup }
@@ -51,7 +54,8 @@ type worker struct {
 type Recorder struct {
 	start time.Time // carries wall and monotonic clocks
 
-	log *EventLog // nil: no events file
+	log    *EventLog // nil: no events file
+	origin string    // fleet worker name stamped on every event; "" for local runs
 
 	workersOnce sync.Once
 	workers     []worker
@@ -86,6 +90,16 @@ func (r *Recorder) LogTo(l *EventLog) {
 	r.log = l
 }
 
+// SetOrigin names this process in the event stream — the fleet worker ID,
+// so events from many workers appending to a shared file (or merged later)
+// stay attributable. Call before the run starts.
+func (r *Recorder) SetOrigin(name string) {
+	if r == nil {
+		return
+	}
+	r.origin = name
+}
+
 // ConfigureWorkers sizes the per-worker state to the engine's pool width.
 // The first call wins; the engine calls it once at construction.
 func (r *Recorder) ConfigureWorkers(n int) {
@@ -115,6 +129,9 @@ func (r *Recorder) emit(ev Event) {
 		return
 	}
 	ev.TNS = r.sinceStart()
+	if ev.Origin == "" {
+		ev.Origin = r.origin
+	}
 	r.log.Emit(ev)
 }
 
@@ -125,7 +142,7 @@ func (r *Recorder) CellQueued(ci CellInfo) {
 		return
 	}
 	r.cellsQueued.Add(1)
-	r.emit(Event{Event: EventQueued, Cell: ci.Key, Workload: ci.Workload, Setup: ci.Setup, Scheme: ci.Scheme, Worker: -1})
+	r.emit(Event{Event: EventQueued, Cell: ci.Key, Workload: ci.Workload, Setup: ci.Setup, Scheme: ci.Scheme, Gen: ci.Gen, Worker: -1})
 }
 
 // CellDedupJoined records a caller attaching to an existing flight
@@ -135,7 +152,7 @@ func (r *Recorder) CellDedupJoined(ci CellInfo) {
 		return
 	}
 	r.dedupJoined.Add(1)
-	r.emit(Event{Event: EventDedupJoined, Cell: ci.Key, Workload: ci.Workload, Setup: ci.Setup, Scheme: ci.Scheme, Worker: -1})
+	r.emit(Event{Event: EventDedupJoined, Cell: ci.Key, Workload: ci.Workload, Setup: ci.Setup, Scheme: ci.Scheme, Gen: ci.Gen, Worker: -1})
 }
 
 // CellStoreHit records a cell settled by replaying a persisted result.
@@ -145,8 +162,10 @@ func (r *Recorder) CellStoreHit(ci CellInfo, slot int) {
 	}
 	r.storeHits.Add(1)
 	r.cellsDone.Add(1)
-	r.emit(Event{Event: EventStoreHit, Cell: ci.Key, Workload: ci.Workload, Setup: ci.Setup, Scheme: ci.Scheme, Worker: slot})
-	r.recordCell(CellRecord{Cell: ci.Key, Workload: ci.Workload, Setup: ci.Setup, Scheme: ci.Scheme, Status: StatusStoreHit})
+	now := r.sinceStart()
+	r.emit(Event{Event: EventStoreHit, Cell: ci.Key, Workload: ci.Workload, Setup: ci.Setup, Scheme: ci.Scheme, Gen: ci.Gen, Worker: slot})
+	r.recordCell(CellRecord{Cell: ci.Key, Workload: ci.Workload, Setup: ci.Setup, Scheme: ci.Scheme, Status: StatusStoreHit,
+		TStartNS: now, TEndNS: now})
 }
 
 // CellStoreMiss counts a store consultation that found nothing (the cell
@@ -170,7 +189,7 @@ func (r *Recorder) CellStarted(ci CellInfo, slot int) {
 		w.since = time.Now()
 		w.mu.Unlock()
 	}
-	r.emit(Event{Event: EventStarted, Cell: ci.Key, Workload: ci.Workload, Setup: ci.Setup, Scheme: ci.Scheme, Worker: slot})
+	r.emit(Event{Event: EventStarted, Cell: ci.Key, Workload: ci.Workload, Setup: ci.Setup, Scheme: ci.Scheme, Gen: ci.Gen, Worker: slot})
 }
 
 // CellRetried records one backoff re-run of a transiently failing cell.
@@ -179,7 +198,7 @@ func (r *Recorder) CellRetried(ci CellInfo, slot, attempt int) {
 		return
 	}
 	r.retries.Add(1)
-	r.emit(Event{Event: EventRetried, Cell: ci.Key, Workload: ci.Workload, Setup: ci.Setup, Scheme: ci.Scheme, Worker: slot, Attempt: attempt})
+	r.emit(Event{Event: EventRetried, Cell: ci.Key, Workload: ci.Workload, Setup: ci.Setup, Scheme: ci.Scheme, Gen: ci.Gen, Worker: slot, Attempt: attempt})
 }
 
 // CellFinished settles a computed cell: frees its worker slot, folds its
@@ -192,10 +211,12 @@ func (r *Recorder) CellFinished(ci CellInfo, slot int, d time.Duration, c Counte
 	r.clearWorker(slot)
 	r.cellsDone.Add(1)
 	r.observeDuration(d)
-	r.emit(Event{Event: EventFinished, Cell: ci.Key, Workload: ci.Workload, Setup: ci.Setup, Scheme: ci.Scheme,
+	end := r.sinceStart()
+	r.emit(Event{Event: EventFinished, Cell: ci.Key, Workload: ci.Workload, Setup: ci.Setup, Scheme: ci.Scheme, Gen: ci.Gen,
 		Worker: slot, DurNS: d.Nanoseconds(), Counters: &c})
 	r.recordCell(CellRecord{Cell: ci.Key, Workload: ci.Workload, Setup: ci.Setup, Scheme: ci.Scheme,
-		Status: StatusOK, WallS: d.Seconds(), Refs: c.Refs})
+		Status: StatusOK, WallS: d.Seconds(), Refs: c.Refs,
+		TStartNS: end - d.Nanoseconds(), TEndNS: end})
 }
 
 // CellFailed settles a failed cell (error, panic, timeout, cancellation).
@@ -206,10 +227,12 @@ func (r *Recorder) CellFailed(ci CellInfo, slot int, d time.Duration, err error)
 	r.clearWorker(slot)
 	r.cellsFailed.Add(1)
 	r.observeDuration(d)
-	r.emit(Event{Event: EventFailed, Cell: ci.Key, Workload: ci.Workload, Setup: ci.Setup, Scheme: ci.Scheme,
+	end := r.sinceStart()
+	r.emit(Event{Event: EventFailed, Cell: ci.Key, Workload: ci.Workload, Setup: ci.Setup, Scheme: ci.Scheme, Gen: ci.Gen,
 		Worker: slot, DurNS: d.Nanoseconds(), Error: err.Error()})
 	r.recordCell(CellRecord{Cell: ci.Key, Workload: ci.Workload, Setup: ci.Setup, Scheme: ci.Scheme,
-		Status: StatusFailed, WallS: d.Seconds(), Error: err.Error()})
+		Status: StatusFailed, WallS: d.Seconds(), Error: err.Error(),
+		TStartNS: end - d.Nanoseconds(), TEndNS: end})
 }
 
 // StoreQuarantined is the result store's corruption hook: a corrupt entry
@@ -371,7 +394,7 @@ func (r *Recorder) ProgressNote() string {
 		note += fmt.Sprintf(", %d store hits", s.StoreHits)
 	}
 	if s.ETAS >= 0 {
-		note += ", eta " + (time.Duration(s.ETAS*float64(time.Second))).Round(time.Second).String()
+		note += ", eta " + (time.Duration(s.ETAS * float64(time.Second))).Round(time.Second).String()
 	}
 	return note
 }
@@ -402,4 +425,42 @@ func (r *Recorder) SummaryLine() string {
 		line += fmt.Sprintf(", %d FAILED", s.CellsFailed)
 	}
 	return line + ")"
+}
+
+// Trace renders the run as a span tree: one run span plus one cell span
+// per settled cell, on the wall clock (the recorder's monotonic offsets
+// rebased onto its start time). A local-run counterpart of the fleet
+// coordinator's trace — same model, one process, so the smoke scripts can
+// diff the two by cell-name set.
+func (r *Recorder) Trace(name string) []span.Span {
+	if r == nil {
+		return nil
+	}
+	trace := span.NewID()
+	runID := span.NewID()
+	base := r.start.UnixNano()
+	out := []span.Span{{Trace: trace, ID: runID, Kind: span.KindRun,
+		Name: name, StartNS: base, EndNS: base + r.sinceStart()}}
+	r.mu.Lock()
+	cells := append([]CellRecord(nil), r.cells...)
+	r.mu.Unlock()
+	for _, c := range cells {
+		s := span.Span{Trace: trace, ID: span.NewID(), Parent: runID,
+			Kind: span.KindCell, Name: c.Workload + "/" + c.Scheme,
+			StartNS: base + c.TStartNS, EndNS: base + c.TEndNS}
+		if c.Scheme == "" {
+			s.Name = c.Workload + "/" + c.Setup
+		}
+		switch c.Status {
+		case StatusOK:
+			s.Outcome = span.OutcomeCompleted
+		case StatusStoreHit:
+			s.Outcome = span.OutcomeSeeded
+		case StatusFailed:
+			s.Outcome = span.OutcomeFailed
+			s.Err = c.Error
+		}
+		out = append(out, s)
+	}
+	return out
 }

@@ -76,6 +76,12 @@ type Kernel struct {
 	anyGranule bool
 
 	stats Stats
+
+	// promosByOrder resolves stats.Promotions by target page order.
+	// Observability only (the epoch time-series): deliberately outside
+	// Stats so the Result schema, the store fingerprint, and the SMT/shard
+	// merge arithmetic stay untouched.
+	promosByOrder [addr.MaxOrder + 1]uint64
 }
 
 // New creates a kernel over the given buddy allocator. The MMU is attached
@@ -615,6 +621,7 @@ func (k *Kernel) upgrade(vma *vma, r *reservation, base addr.VPN, o addr.Order) 
 		r.markRegionTouched(base, o.Pages())
 	}
 	k.stats.Promotions++
+	k.promosByOrder[o]++
 	k.stats.SysCycles += k.cfg.Costs.Promotion
 	return nil
 }
@@ -835,6 +842,21 @@ func (k *Kernel) MergePages() {
 			}
 		}
 	}
+}
+
+// PromotionsByOrder returns the cumulative promotion count per target
+// order. The series sampler's companion to Stats().Promotions.
+func (k *Kernel) PromotionsByOrder() [addr.MaxOrder + 1]uint64 {
+	return k.promosByOrder
+}
+
+// CensusInto accumulates the current mapped-page census by order into the
+// caller's array — the allocation-free sibling of PageSizeCensus, used by
+// the series sampler inside the ref loop.
+func (k *Kernel) CensusInto(census *[addr.MaxOrder + 1]uint64) {
+	k.table.MappedPages(func(_ addr.VPN, _ addr.PFN, o addr.Order, _ uint64) {
+		census[o]++
+	})
 }
 
 // PageSizeCensus counts currently mapped pages per order (Fig. 18).

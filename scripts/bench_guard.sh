@@ -6,6 +6,9 @@
 #    regresses more than 15% versus the committed BENCH_PR7.json ns/ref.
 #    CI machines are noisy, so the measurement takes the best of three
 #    1-second rounds — regressions big enough to matter survive that.
+#    The series-sampling variants (RefLoopSeries) must additionally stay
+#    within 5% of the plain loop: epoch sampling reads counters at epoch
+#    boundaries and may not tax the per-reference path.
 # 2. Runs the golden figure check with -shards > 1: a -shards 1 run must
 #    be byte-identical to the checked-in serial golden (the flag's serial
 #    path IS the serial runner), and two -shards 2 runs of the full -all
@@ -30,23 +33,48 @@ committed_ns() { # scheme -> committed ns_per_ref
 raw="$(mktemp)"
 trap 'rm -f "$raw"' EXIT
 for round in 1 2 3; do
-    go test -run='^$' -bench='^BenchmarkRefLoop$/^(thp|tps)$' -benchtime=1s -count=1 \
+    go test -run='^$' -bench='^BenchmarkRefLoop(Series)?$/^(thp|tps)$' -benchtime=1s -count=1 \
         ./internal/sim >> "$raw"
 done
 
+best_ns() { # benchmark-prefix scheme -> best-of-rounds ns/ref
+    awk -v s="$2" -v p="$1" '$1 ~ "^"p"/"s"(-[0-9]+)?$" { for (i=2;i<=NF;i++) if ($i=="ns/op") print $(i-1) }' "$raw" \
+        | sort -g | head -1
+}
+
 fail=0
+plain_thp=""; plain_tps=""
 for scheme in thp tps; do
     want="$(committed_ns "$scheme")"
     [ -n "$want" ] || { echo "bench_guard: no $scheme row in $bench_file" >&2; exit 1; }
-    got="$(awk -v s="$scheme" '$1 ~ "^BenchmarkRefLoop/"s"(-[0-9]+)?$" { for (i=2;i<=NF;i++) if ($i=="ns/op") print $(i-1) }' "$raw" \
-        | sort -g | head -1)"
+    got="$(best_ns BenchmarkRefLoop "$scheme")"
     [ -n "$got" ] || { echo "bench_guard: benchmark produced no $scheme measurement" >&2; exit 1; }
+    eval "plain_$scheme=\$got"
     ok="$(awk -v got="$got" -v want="$want" -v tol="$tolerance" \
         'BEGIN { print (got <= want * tol / 100) ? 1 : 0 }')"
     if [ "$ok" = 1 ]; then
         echo "bench_guard: $scheme ${got} ns/ref (committed ${want}, limit ${tolerance}%)" >&2
     else
         echo "bench_guard: FAIL: $scheme ${got} ns/ref exceeds ${tolerance}% of committed ${want}" >&2
+        fail=1
+    fi
+done
+
+# Series overhead: <5% over the plain loop, measured against the larger
+# of the committed ns/ref and the just-measured plain ns/ref so a fast
+# machine does not fail on the committed number's slack.
+series_tolerance=105
+for scheme in thp tps; do
+    want="$(committed_ns "$scheme")"
+    eval "plain=\$plain_$scheme"
+    got="$(best_ns BenchmarkRefLoopSeries "$scheme")"
+    [ -n "$got" ] || { echo "bench_guard: benchmark produced no $scheme series measurement" >&2; exit 1; }
+    ok="$(awk -v got="$got" -v want="$want" -v plain="$plain" -v tol="$series_tolerance" \
+        'BEGIN { lim = (want > plain ? want : plain) * tol / 100; print (got <= lim) ? 1 : 0 }')"
+    if [ "$ok" = 1 ]; then
+        echo "bench_guard: $scheme+series ${got} ns/ref (plain ${plain}, limit ${series_tolerance}%)" >&2
+    else
+        echo "bench_guard: FAIL: $scheme+series ${got} ns/ref exceeds ${series_tolerance}% of max(${want}, ${plain})" >&2
         fail=1
     fi
 done

@@ -49,9 +49,12 @@ BEGIN {
     base["tps+telemetry-off"] = 41.76
     base["tps+telemetry-on"] = 41.76
     # The no-cache rows price the modeled hierarchy alone; their PR 2
-    # twins ARE the plain rows (the cache did not exist then).
+    # twins ARE the plain rows (the cache did not exist then). Same for
+    # the series-sampling rows: sampling is meant to be free.
     base["thp+nocache"] = 26.12
     base["tps+nocache"] = 41.76
+    base["thp+series"] = 26.12
+    base["tps+series"] = 41.76
 }
 /^BenchmarkRefLoop/ {
     name = $1
@@ -62,6 +65,11 @@ BEGIN {
         sub(/^BenchmarkRefLoopNoCache\//, "", name)
         sub(/-[0-9]+$/, "", name)
         name = name "+nocache"
+    }
+    if (name ~ /^BenchmarkRefLoopSeries\//) {
+        sub(/^BenchmarkRefLoopSeries\//, "", name)
+        sub(/-[0-9]+$/, "", name)
+        name = name "+series"
     }
     shards = 0
     if (name ~ /^BenchmarkRefLoopSharded\//) {

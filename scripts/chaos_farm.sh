@@ -12,7 +12,11 @@
 #     The farm's stdout must equal the serial golden, byte for byte.
 #  3. The fleet /metrics snapshot is jq-validated mid-run for schema and
 #     internal consistency.
-#  4. A restarted coordinator pointed at the same store — with no workers
+#  4. The chaotic run's -trace is one merged trace whose cell spans cover
+#     the full grid despite the SIGKILL — grants the dead worker lost
+#     appear as lease spans — and tpsreport renders the timeline,
+#     critical path, and straggler attribution from it.
+#  5. A restarted coordinator pointed at the same store — with no workers
 #     at all — resumes every cell from store contents and prints the same
 #     bytes again: the coordinator-crash recovery path.
 #
@@ -35,6 +39,7 @@ trap cleanup EXIT
 go build -o "$workdir/figures" ./cmd/figures
 go build -o "$workdir/tpsfarm" ./cmd/tpsfarm
 go build -o "$workdir/tpsworker" ./cmd/tpsworker
+go build -o "$workdir/tpsreport" ./cmd/tpsreport
 
 # --- 1. Serial golden. --------------------------------------------------
 
@@ -46,6 +51,7 @@ go build -o "$workdir/tpsworker" ./cmd/tpsworker
 # Short TTL so the killed worker's leases re-dispatch quickly.
 "$workdir/tpsfarm" -schemes "$schemes" -refs "$refs" -suite "$suite" \
     -listen 127.0.0.1:0 -store "$workdir/cells" -ttl 2s -progress=false \
+    -trace "$workdir/trace.jsonl" -events "$workdir/lease-ev.jsonl" \
     > "$workdir/farm.out" 2>"$workdir/farm.err" &
 farm=$!
 pids+=("$farm")
@@ -99,7 +105,33 @@ cmp "$workdir/golden.out" "$workdir/farm.out" || {
 echo "fleet output byte-identical to serial golden through chaos" >&2
 grep -Eo '[0-9]+ duplicates deduped, [0-9]+ expirations' "$workdir/farm.err" >&2 || true
 
-# --- 3. Coordinator-restart resume: same store, zero workers. -----------
+# --- 3. One merged trace covering the grid; tpsreport renders it. -------
+
+# Six cells (gcc,leela × base4k,thp,tps), one trace ID, every grant on
+# record — the SIGKILLed worker's expired leases included.
+jq -es '([.[].trace] | unique | length) == 1
+        and (map(select(.kind == "run"))   | length) == 1
+        and (map(select(.kind == "cell"))  | length) == 6
+        and (map(select(.kind == "cell" and .outcome == "completed")) | length) == 6
+        and (map(select(.kind == "lease")) | length) >= 6' \
+    < "$workdir/trace.jsonl" > /dev/null
+for w in gcc leela; do for s in base4k thp tps; do echo "$w/$s"; done; done \
+    | sort > "$workdir/cells.want"
+jq -r 'select(.kind == "cell") | .name' "$workdir/trace.jsonl" \
+    | sort > "$workdir/cells.got"
+cmp "$workdir/cells.want" "$workdir/cells.got" || {
+    echo "trace cell spans do not cover the grid" >&2; exit 1; }
+jq -es 'length > 0 and all(.event | startswith("lease-"))' \
+    < "$workdir/lease-ev.jsonl" > /dev/null
+echo "trace: $(wc -l < "$workdir/trace.jsonl") spans, one trace, full grid" >&2
+
+"$workdir/tpsreport" -spans "$workdir/trace.jsonl" -timeline > "$workdir/timeline.out"
+grep -q "Critical path" "$workdir/timeline.out"
+grep -q "Straggler" "$workdir/timeline.out"
+grep -q "cell" "$workdir/timeline.out"
+echo "tpsreport timeline rendered (critical path + straggler attribution)" >&2
+
+# --- 4. Coordinator-restart resume: same store, zero workers. -----------
 
 "$workdir/tpsfarm" -schemes "$schemes" -refs "$refs" -suite "$suite" \
     -listen 127.0.0.1:0 -store "$workdir/cells" -progress=false \

@@ -9,6 +9,17 @@
 #  2. A run with -listen serves a jq-consistent /metrics snapshot and a
 #     pprof profile mid-run, and when SIGINTed exits 130 and still writes
 #     the manifest — with exit status "interrupted".
+#  3. A -schemes all run with -series and -spans keeps stdout byte-
+#     identical to an unobserved run, every series line is schema-valid
+#     (19-order census and promotion vectors, advancing deltas) and the
+#     series covers the full workload×scheme grid, and the span trace is
+#     one run span plus one cell span per grid cell.
+#  4. A one-worker tpsfarm -trace over the same grid produces a merged
+#     trace whose cell-span set equals the serial figures trace's, with
+#     worker attempt spans attached; tpsreport renders the timeline,
+#     critical path, and straggler views from it, exports Chrome JSON,
+#     and fails with a line number on a malformed events file unless
+#     -strict=false downgrades that to skip-and-count.
 #
 #   scripts/telemetry_smoke.sh
 set -euo pipefail
@@ -86,4 +97,104 @@ rc=0; wait "$pid" || rc=$?
 
 jq -e '.exit.status == "interrupted" and .exit.code == 130' \
     "$workdir/manifest2.json" > /dev/null
-echo "telemetry smoke: golden intact, events valid, endpoint live, manifest survives SIGINT" >&2
+
+# --- 3. Series + spans: sampled counters, one trace per run. ------------
+
+"$workdir/figures" -schemes all -refs "$refs" -suite "$suite" -progress=false \
+    -series "$workdir/series.jsonl" -series-every 5000 \
+    -spans "$workdir/figures-spans.jsonl" > "$workdir/out3"
+"$workdir/figures" -schemes all -refs "$refs" -suite "$suite" -progress=false \
+    > "$workdir/out3.plain"
+cmp "$workdir/out3" "$workdir/out3.plain" || {
+    echo "-series/-spans moved stdout" >&2; exit 1; }
+
+# Every series line is schema-valid: identified, epoch-gridded, with the
+# full 19-order promotion and census vectors and a nonzero refs delta.
+jq -es 'length > 0 and all(
+        .workload != "" and .scheme != "" and .every > 0 and .refs > 0
+        and .delta.refs > 0
+        and (.promos_by_order | length) == 19 and (.census | length) == 19)' \
+    < "$workdir/series.jsonl" > /dev/null
+# The series covers the full grid: every workload×scheme pair emitted.
+jq -es '([.[].workload] | unique | length) as $w
+        | ([.[].scheme]  | unique | length) as $s
+        | $s >= 8 and ([.[] | "\(.workload)/\(.scheme)"] | unique | length) == $w * $s' \
+    < "$workdir/series.jsonl" > /dev/null
+echo "series: $(wc -l < "$workdir/series.jsonl") epochs, full grid covered" >&2
+
+# The figures trace: one trace ID, one run span, one cell span per grid
+# cell — the same pairs the series saw.
+jq -es '([.[].trace] | unique | length) == 1
+        and (map(select(.kind == "run")) | length) == 1
+        and all(.id != "" and .start_ns > 0 and .end_ns >= .start_ns)' \
+    < "$workdir/figures-spans.jsonl" > /dev/null
+jq -r 'select(.kind == "cell") | .name' "$workdir/figures-spans.jsonl" \
+    | sort > "$workdir/cells.figures"
+jq -r '"\(.workload)/\(.scheme)"' "$workdir/series.jsonl" \
+    | sort -u > "$workdir/cells.series"
+cmp "$workdir/cells.figures" "$workdir/cells.series" || {
+    echo "figures trace cell set diverges from the series grid" >&2; exit 1; }
+
+# --- 4. Fabric trace vs serial trace; tpsreport views. ------------------
+
+go build -o "$workdir/tpsfarm" ./cmd/tpsfarm
+go build -o "$workdir/tpsworker" ./cmd/tpsworker
+
+"$workdir/tpsfarm" -schemes all -refs "$refs" -suite "$suite" \
+    -listen 127.0.0.1:0 -progress=false \
+    -trace "$workdir/farm-trace.jsonl" -events "$workdir/farm-ev.jsonl" \
+    > "$workdir/farm.out" 2>"$workdir/farm.err" &
+farm=$!
+addr=""
+for _ in $(seq 1 100); do
+    addr="$(sed -n 's#.*serving fabric on http://\([^/]*\)/.*#\1#p' "$workdir/farm.err")"
+    [ -n "$addr" ] && break
+    kill -0 "$farm" 2>/dev/null || { cat "$workdir/farm.err" >&2; exit 1; }
+    sleep 0.1
+done
+[ -n "$addr" ] || { echo "tpsfarm never announced its fabric address" >&2; exit 1; }
+"$workdir/tpsworker" -farm "http://$addr" -name smoke-w1 -parallel 2 \
+    2>"$workdir/worker.err" &
+wk=$!
+rc=0; wait "$farm" || rc=$?
+[ "$rc" -eq 0 ] || { echo "tpsfarm exited $rc" >&2; cat "$workdir/farm.err" >&2; exit 1; }
+kill -TERM "$wk" 2>/dev/null || true
+wait "$wk" 2>/dev/null || true
+
+# Fleet and serial runs describe the same grid: identical cell-span sets.
+jq -r 'select(.kind == "cell") | .name' "$workdir/farm-trace.jsonl" \
+    | sort > "$workdir/cells.farm"
+cmp "$workdir/cells.figures" "$workdir/cells.farm" || {
+    echo "fabric trace cell set diverges from the serial trace" >&2; exit 1; }
+# One merged trace with worker-side attempt spans riding the completions.
+jq -es '([.[].trace] | unique | length) == 1
+        and (map(select(.kind == "lease"))   | length) >= (map(select(.kind == "cell")) | length)
+        and (map(select(.kind == "attempt")) | length) >= (map(select(.kind == "cell")) | length)
+        and all(.[] | select(.kind == "attempt"); .worker == "smoke-w1" and .parent != "")' \
+    < "$workdir/farm-trace.jsonl" > /dev/null
+# Lease-protocol events carry the worker (origin) and the generation.
+jq -es 'length > 0 and all(.event | startswith("lease-"))
+        and all(.[] | select(.event == "lease-granted"); .origin != "" and .gen >= 1)' \
+    < "$workdir/farm-ev.jsonl" > /dev/null
+echo "fabric trace: $(wc -l < "$workdir/farm-trace.jsonl") spans, cell set matches serial" >&2
+
+# tpsreport renders the fleet views and the Chrome export from it.
+"$workdir/tpsreport" -spans "$workdir/farm-trace.jsonl" -timeline > "$workdir/timeline.out"
+grep -q "Critical path" "$workdir/timeline.out"
+grep -q "Straggler" "$workdir/timeline.out"
+"$workdir/tpsreport" -spans "$workdir/farm-trace.jsonl" -chrome "$workdir/chrome.json" \
+    > /dev/null 2>&1
+jq -e '.traceEvents | length > 0' "$workdir/chrome.json" > /dev/null
+
+# Malformed lines: strict mode fails with the line number, -strict=false
+# salvages the rest and reports the skip count.
+cp "$workdir/run.jsonl" "$workdir/damaged.jsonl"
+printf '{"event": "truncat\n' >> "$workdir/damaged.jsonl"
+if "$workdir/tpsreport" "$workdir/damaged.jsonl" > /dev/null 2>"$workdir/strict.err"; then
+    echo "tpsreport accepted a malformed line in strict mode" >&2; exit 1
+fi
+grep -q "line $(wc -l < "$workdir/damaged.jsonl")" "$workdir/strict.err"
+"$workdir/tpsreport" -strict=false "$workdir/damaged.jsonl" > /dev/null 2>"$workdir/lenient.err"
+grep -q "skipped 1 malformed" "$workdir/lenient.err"
+
+echo "telemetry smoke: golden intact, events+series+spans valid, fleet trace matches serial, manifest survives SIGINT" >&2
